@@ -1,0 +1,153 @@
+package wadc_test
+
+import (
+	"testing"
+	"time"
+
+	"wadc/internal/core"
+	"wadc/internal/experiment"
+	"wadc/internal/metrics"
+	"wadc/internal/monitor"
+	"wadc/internal/placement"
+	"wadc/internal/trace"
+	"wadc/internal/workload"
+)
+
+// The ablation benchmarks quantify the design choices DESIGN.md §6 calls
+// out: barrier-message priority, monitoring fidelity (timed probes + 40 s
+// cache vs an oracle), the cache timeout itself, and the local algorithm's
+// staggered epochs.
+
+// ablationRun executes the global algorithm over a few configurations and
+// returns the mean completion time in simulated seconds.
+func ablationRun(b *testing.B, mutate func(*core.RunConfig)) float64 {
+	b.Helper()
+	pool := trace.NewStudyPool(1)
+	assignments := experiment.GenerateAssignments(pool, 3, 8, 1)
+	var total float64
+	for i, a := range assignments {
+		cfg := core.RunConfig{
+			Seed: int64(i + 1), NumServers: 8, Shape: core.CompleteBinaryTree,
+			Links:  a.LinkFn(),
+			Policy: &placement.Global{Period: 5 * time.Minute},
+			Workload: workload.Config{
+				ImagesPerServer: 40, MeanBytes: 128 * 1024, SpreadFrac: 0.25,
+			},
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Completion.Seconds()
+	}
+	return total / float64(len(assignments))
+}
+
+// BenchmarkAblationBarrierPriority compares the global algorithm with and
+// without barrier-message priority (paper §2.2: "barrier messages are
+// assigned a higher priority than other messages").
+func BenchmarkAblationBarrierPriority(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = ablationRun(b, nil)
+		without = ablationRun(b, func(c *core.RunConfig) { c.FlatPriorities = true })
+	}
+	b.ReportMetric(with, "with-priority-s")
+	b.ReportMetric(without, "flat-priority-s")
+}
+
+// BenchmarkAblationOracleMonitoring compares timed 16 KB probes against an
+// oracle that answers bandwidth queries instantly and exactly — the cost of
+// imperfect knowledge for the global algorithm.
+func BenchmarkAblationOracleMonitoring(b *testing.B) {
+	var timed, oracle float64
+	for i := 0; i < b.N; i++ {
+		timed = ablationRun(b, nil)
+		oracle = ablationRun(b, func(c *core.RunConfig) {
+			mc := monitor.DefaultConfig()
+			mc.ProbeMode = monitor.ProbeOracle
+			c.Monitor = mc
+		})
+	}
+	b.ReportMetric(timed, "timed-probes-s")
+	b.ReportMetric(oracle, "oracle-s")
+}
+
+// BenchmarkAblationCacheTimeout sweeps the measurement-cache timeout
+// T_thres around the paper's 40 s choice.
+func BenchmarkAblationCacheTimeout(b *testing.B) {
+	timeouts := []time.Duration{10 * time.Second, 40 * time.Second, 5 * time.Minute}
+	results := make([]float64, len(timeouts))
+	for i := 0; i < b.N; i++ {
+		for ti, tt := range timeouts {
+			results[ti] = ablationRun(b, func(c *core.RunConfig) {
+				mc := monitor.DefaultConfig()
+				mc.TThres = tt
+				c.Monitor = mc
+			})
+		}
+	}
+	for ti, tt := range timeouts {
+		b.ReportMetric(results[ti], "tthres-"+tt.String())
+	}
+}
+
+// BenchmarkAblationStaggeredEpochs compares the local algorithm with the
+// paper's per-level staggered epochs against unstaggered epochs (its
+// decentralised coordination mechanism switched off).
+func BenchmarkAblationStaggeredEpochs(b *testing.B) {
+	run := func(unstagger bool) float64 {
+		return ablationRun(b, func(c *core.RunConfig) {
+			c.Policy = &placement.Local{
+				Period: 5 * time.Minute, Seed: c.Seed, Unstagger: unstagger,
+			}
+		})
+	}
+	var staggered, unstaggered float64
+	for i := 0; i < b.N; i++ {
+		staggered = run(false)
+		unstaggered = run(true)
+	}
+	b.ReportMetric(staggered, "staggered-s")
+	b.ReportMetric(unstaggered, "unstaggered-s")
+}
+
+// TestAblationsRun exercises every ablation path once so the configurations
+// stay working even when benchmarks are not run.
+func TestAblationsRun(t *testing.T) {
+	pool := trace.NewStudyPool(1)
+	links := experiment.GenerateAssignments(pool, 1, 4, 1)[0].LinkFn()
+	wl := workload.Config{ImagesPerServer: 10, MeanBytes: 64 * 1024, SpreadFrac: 0.2}
+	oracle := monitor.DefaultConfig()
+	oracle.ProbeMode = monitor.ProbeOracle
+	cases := []struct {
+		name string
+		cfg  core.RunConfig
+	}{
+		{"flat-priorities", core.RunConfig{
+			Policy: &placement.Global{Period: 2 * time.Minute}, FlatPriorities: true}},
+		{"oracle-monitoring", core.RunConfig{
+			Policy: &placement.Global{Period: 2 * time.Minute}, Monitor: oracle}},
+		{"unstaggered-local", core.RunConfig{
+			Policy: &placement.Local{Period: 2 * time.Minute, Unstagger: true}}},
+	}
+	var completions []float64
+	for _, tc := range cases {
+		cfg := tc.cfg
+		cfg.Seed, cfg.NumServers, cfg.Links, cfg.Workload = 1, 4, links, wl
+		res, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(res.Arrivals) != 10 {
+			t.Errorf("%s: %d arrivals", tc.name, len(res.Arrivals))
+		}
+		completions = append(completions, res.Completion.Seconds())
+	}
+	if metrics.Min(completions) <= 0 {
+		t.Error("degenerate completion time")
+	}
+}

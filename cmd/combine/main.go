@@ -1,0 +1,105 @@
+// Command combine runs a single wide-area data-combination simulation and
+// prints its outcome: one network configuration, one combination order, one
+// placement algorithm.
+//
+// Examples:
+//
+//	combine -servers 8 -alg global -config 17
+//	combine -servers 4 -alg local -shape left-deep -period 5m -iters 60
+//	combine -alg download-all -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wadc/internal/core"
+	"wadc/internal/experiment"
+	"wadc/internal/placement"
+	"wadc/internal/trace"
+	"wadc/internal/workload"
+)
+
+func main() {
+	var (
+		servers = flag.Int("servers", 8, "number of data servers")
+		alg     = flag.String("alg", "global", "placement algorithm: download-all, one-shot, global, local")
+		shape   = flag.String("shape", "binary", "combination order: binary or left-deep")
+		period  = flag.Duration("period", 10*time.Minute, "relocation period for on-line algorithms")
+		extra   = flag.Int("extra", 0, "extra random candidate locations (local algorithm)")
+		iters   = flag.Int("iters", workload.DefaultImagesPerServer, "images per server")
+		seed    = flag.Int64("seed", 1, "random seed")
+		config  = flag.Int("config", 0, "network configuration index")
+		verbose = flag.Bool("v", false, "print per-image arrival times and the move log")
+	)
+	flag.Parse()
+
+	var policy placement.Policy
+	switch *alg {
+	case "download-all":
+		policy = placement.DownloadAll{}
+	case "one-shot":
+		policy = placement.OneShot{}
+	case "global":
+		policy = &placement.Global{Period: *period}
+	case "local":
+		policy = &placement.Local{Period: *period, Extra: *extra, Seed: *seed}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+	treeShape := core.CompleteBinaryTree
+	if *shape == "left-deep" {
+		treeShape = core.LeftDeepTree
+	}
+
+	pool := trace.NewStudyPool(*seed)
+	assignment := experiment.GenerateAssignments(pool, *config+1, *servers, *seed)[*config]
+
+	res, err := core.Run(core.RunConfig{
+		Seed:       *seed*7919 + int64(*config),
+		NumServers: *servers,
+		Shape:      treeShape,
+		Links:      assignment.LinkFn(),
+		Policy:     policy,
+		Workload: workload.Config{
+			ImagesPerServer: *iters,
+			MeanBytes:       workload.DefaultMeanBytes,
+			SpreadFrac:      workload.DefaultSpreadFrac,
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "combine: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("algorithm:          %s\n", res.Algorithm)
+	fmt.Printf("servers:            %d (%s tree)\n", *servers, treeShape)
+	fmt.Printf("images delivered:   %d\n", len(res.Arrivals))
+	fmt.Printf("completion time:    %.1fs\n", res.Completion.Seconds())
+	fmt.Printf("mean interarrival:  %.1fs/image\n", res.MeanInterarrival.Seconds())
+	fmt.Printf("operator moves:     %d (%d coordinated change-overs)\n", res.Moves, res.Switches)
+	fmt.Printf("monitoring:         %d probes, %d passive measurements, %.0f%% cache hits\n",
+		res.Probes, res.PassiveMeasurements, res.CacheHitRate*100)
+	fmt.Printf("network:            %d transfers, %.1f MB moved\n",
+		res.NetworkTransfers, float64(res.BytesMoved)/(1<<20))
+	fmt.Printf("initial placement:  %s\n", res.InitialPlacement)
+	fmt.Printf("final placement:    %s\n", res.FinalPlacement)
+	if *verbose {
+		fmt.Println("\nmove log:")
+		for _, mv := range res.MoveLog {
+			kind := "local"
+			if mv.Barrier {
+				kind = "barrier"
+			}
+			fmt.Printf("  %9.1fs  op%d  h%d -> h%d  (%s)\n",
+				mv.At.Seconds(), mv.Op, mv.From, mv.To, kind)
+		}
+		fmt.Println("\narrivals:")
+		for i, at := range res.Arrivals {
+			fmt.Printf("  image %3d at %9.1fs\n", i, at.Seconds())
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command experiments regenerates the paper's figures. Each figure's full
+// parameterisation (300 configurations, 8 servers, 180 images/server,
+// 10-minute relocation period) is the default; -configs and -iters trim the
+// sweep for quick runs.
+//
+// Examples:
+//
+//	experiments -fig 6                 # the main result, full scale
+//	experiments -fig all -configs 50   # every figure at reduced scale
+//	experiments -fig 8 -configs 100    # the server-scaling sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wadc/internal/experiment"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 2, 6, 7, 8, 9, 10, discussion, ordering, ablations or all")
+		configs = flag.Int("configs", 300, "number of network configurations")
+		servers = flag.Int("servers", 8, "number of servers (figures 6, 7, 9, 10)")
+		iters   = flag.Int("iters", 180, "images per server")
+		seed    = flag.Int64("seed", 1, "random seed")
+		period  = flag.Duration("period", 10*time.Minute, "relocation period (figures 6, 7, 8, 10)")
+	)
+	flag.Parse()
+
+	opts := experiment.Options{
+		Configs:    *configs,
+		Servers:    *servers,
+		Iterations: *iters,
+		Seed:       *seed,
+		Period:     *period,
+	}
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	start := time.Now()
+	ran := 0
+
+	if want("2") {
+		fmt.Println(experiment.Figure2(*seed, 0).Render())
+		ran++
+	}
+	if want("6") {
+		r, err := experiment.Figure6(opts)
+		exitOn(err)
+		fmt.Println(r.Render())
+		ran++
+	}
+	if want("7") {
+		r, err := experiment.Figure7(opts)
+		exitOn(err)
+		fmt.Println(r.Render())
+		ran++
+	}
+	if want("8") {
+		r, err := experiment.Figure8(opts, nil)
+		exitOn(err)
+		fmt.Println(r.Render())
+		ran++
+	}
+	if want("9") {
+		r, err := experiment.Figure9(opts, nil)
+		exitOn(err)
+		fmt.Println(r.Render())
+		ran++
+	}
+	if want("10") {
+		r, err := experiment.Figure10(opts)
+		exitOn(err)
+		fmt.Println(r.Render())
+		ran++
+	}
+	if want("discussion") {
+		// The oracle scoring is expensive; cap the sweep.
+		do := opts
+		if do.Configs > 30 {
+			do.Configs = 30
+		}
+		r, err := experiment.Discussion(do)
+		exitOn(err)
+		fmt.Println(r.Render())
+		ran++
+	}
+	if want("ordering") {
+		r, err := experiment.Ordering(opts)
+		exitOn(err)
+		fmt.Println(r.Render())
+		ran++
+	}
+	if want("ablations") {
+		ao := opts
+		if ao.Configs > 40 {
+			ao.Configs = 40
+		}
+		r, err := experiment.Ablations(ao)
+		exitOn(err)
+		fmt.Println(r.Render())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 2, 6, 7, 8, 9, 10, discussion, ordering or all)\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Printf("%s\n[%d figure(s) in %v]\n", strings.Repeat("-", 60), ran, time.Since(start).Round(time.Second))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

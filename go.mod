@@ -1,0 +1,3 @@
+module wadc
+
+go 1.22

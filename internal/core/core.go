@@ -1,0 +1,191 @@
+// Package core is the top-level façade of the library: it assembles a
+// complete simulated wide-area data-combination run — network, bandwidth
+// traces, monitoring, workload, combination tree, placement policy, dataflow
+// execution — and returns the measured outcome.
+//
+// A run reproduces one cell of the paper's evaluation: one network
+// configuration (an assignment of bandwidth traces to the links of the
+// complete graph over servers + client), one combination order, and one
+// placement algorithm.
+package core
+
+import (
+	"fmt"
+
+	"wadc/internal/dataflow"
+	"wadc/internal/monitor"
+	"wadc/internal/netmodel"
+	"wadc/internal/placement"
+	"wadc/internal/plan"
+	"wadc/internal/sim"
+	"wadc/internal/trace"
+	"wadc/internal/workload"
+)
+
+// TreeShape selects the combination order.
+type TreeShape int
+
+// Combination orders evaluated in the paper.
+const (
+	// CompleteBinaryTree is the maximally bushy order of the main
+	// experiments.
+	CompleteBinaryTree TreeShape = iota
+	// LeftDeepTree is the linear order common in database query plans
+	// (Figure 5 / Figure 10).
+	LeftDeepTree
+	// GreedyBandwidthTree orders the combination by greedily pairing the
+	// best-connected servers first, using planning-time bandwidth knowledge
+	// (an extension beyond the paper's two fixed orders).
+	GreedyBandwidthTree
+)
+
+// String implements fmt.Stringer.
+func (s TreeShape) String() string {
+	switch s {
+	case LeftDeepTree:
+		return "left-deep"
+	case GreedyBandwidthTree:
+		return "greedy-bandwidth"
+	default:
+		return "complete-binary"
+	}
+}
+
+// Build returns the tree for n servers.
+func (s TreeShape) Build(n int) *plan.Tree {
+	if s == LeftDeepTree {
+		return plan.LeftDeep(n)
+	}
+	return plan.CompleteBinary(n)
+}
+
+// LinkFn supplies the bandwidth trace for each (undirected) host pair.
+type LinkFn func(a, b netmodel.HostID) *trace.Trace
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	// Seed drives all model-level randomness in the run.
+	Seed int64
+	// NumServers is the number of data sources (the client is one more
+	// host).
+	NumServers int
+	// Shape is the combination order.
+	Shape TreeShape
+	// Links assigns a bandwidth trace to every host pair; hosts 0..N-1 are
+	// the servers and host N is the client.
+	Links LinkFn
+	// Policy is the placement algorithm under test.
+	Policy placement.Policy
+	// Workload configures the image sequences (paper defaults if zero).
+	Workload workload.Config
+	// Monitor configures the monitoring subsystem (paper defaults if zero).
+	Monitor monitor.Config
+	// Iterations overrides the number of partitions (default: full
+	// sequences).
+	Iterations int
+	// TrackTransfers records every data transfer in the result.
+	TrackTransfers bool
+	// FlatPriorities disables message-priority queueing in the network — the
+	// ablation of the paper's barrier-priority design point (§2.2).
+	FlatPriorities bool
+}
+
+// RunResult is the outcome of one run.
+type RunResult struct {
+	dataflow.Result
+	// Algorithm is the policy name.
+	Algorithm string
+	// Probes and PassiveMeasurements summarise monitoring activity.
+	Probes              int64
+	PassiveMeasurements int64
+	CacheHitRate        float64
+	// NetworkTransfers and BytesMoved summarise network load.
+	NetworkTransfers int64
+	BytesMoved       int64
+	// InitialPlacement and FinalPlacement bracket the run.
+	InitialPlacement *plan.Placement
+	FinalPlacement   *plan.Placement
+}
+
+// Run executes one complete simulation and returns its result.
+func Run(cfg RunConfig) (RunResult, error) {
+	if cfg.NumServers < 2 {
+		return RunResult{}, fmt.Errorf("core: need at least 2 servers, got %d", cfg.NumServers)
+	}
+	if cfg.Links == nil {
+		return RunResult{}, fmt.Errorf("core: Links is required")
+	}
+	if cfg.Policy == nil {
+		return RunResult{}, fmt.Errorf("core: Policy is required")
+	}
+
+	k := sim.NewKernel(sim.WithSeed(cfg.Seed))
+	var netOpts []netmodel.NetOption
+	if cfg.FlatPriorities {
+		netOpts = append(netOpts, netmodel.WithFlatPriorities())
+	}
+	net := netmodel.NewNetwork(k, netOpts...)
+	for i := 0; i < cfg.NumServers; i++ {
+		net.AddHost(fmt.Sprintf("s%d", i))
+	}
+	client := net.AddHost("client")
+	for a := 0; a < net.NumHosts(); a++ {
+		for b := a + 1; b < net.NumHosts(); b++ {
+			tr := cfg.Links(netmodel.HostID(a), netmodel.HostID(b))
+			if tr == nil {
+				return RunResult{}, fmt.Errorf("core: no trace for link %d<->%d", a, b)
+			}
+			net.SetLink(netmodel.HostID(a), netmodel.HostID(b), tr)
+		}
+	}
+	mon := monitor.NewSystem(net, cfg.Monitor)
+
+	var tree *plan.Tree
+	if cfg.Shape == GreedyBandwidthTree {
+		// Order the combination with planning-time bandwidth knowledge:
+		// cheapest (fastest) server pairs combine deepest in the tree.
+		tree = plan.GreedyBinary(cfg.NumServers, func(a, b int) float64 {
+			return 1 / float64(net.BandwidthAt(netmodel.HostID(a), netmodel.HostID(b), 0))
+		})
+	} else {
+		tree = cfg.Shape.Build(cfg.NumServers)
+	}
+	serverHosts, _ := plan.DefaultHostAssignment(cfg.NumServers)
+	images := workload.Generate(cfg.Seed, cfg.NumServers, cfg.Workload)
+	model := plan.DefaultCostModel(workload.MeanBytes(images))
+	inst := placement.NewInstance(net, mon, tree, serverHosts, client.ID(), model)
+
+	var eng *dataflow.Engine
+	var initialPl *plan.Placement
+	k.Spawn("bootstrap", func(p *sim.Proc) {
+		initial := cfg.Policy.InitialPlacement(p, inst)
+		initialPl = initial.Clone()
+		eng = dataflow.New(dataflow.Config{
+			Net: net, Mon: mon, Tree: tree,
+			Initial:        initial,
+			Images:         images,
+			Iterations:     cfg.Iterations,
+			TrackTransfers: cfg.TrackTransfers,
+		})
+		cfg.Policy.Attach(inst, eng)
+		eng.Start()
+	})
+	if err := k.Run(); err != nil {
+		return RunResult{}, fmt.Errorf("core: simulation failed: %w", err)
+	}
+	if eng == nil || !eng.Completed() {
+		return RunResult{}, fmt.Errorf("core: run did not complete")
+	}
+	res := RunResult{
+		Result:              eng.Result(),
+		Algorithm:           cfg.Policy.Name(),
+		Probes:              mon.Probes(),
+		PassiveMeasurements: mon.PassiveMeasurements(),
+		CacheHitRate:        mon.CacheHitRate(),
+		NetworkTransfers:    net.Transfers(),
+		BytesMoved:          net.BytesMoved(),
+		InitialPlacement:    initialPl,
+		FinalPlacement:      eng.CurrentPlacement(),
+	}
+	return res, nil
+}

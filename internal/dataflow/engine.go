@@ -1,0 +1,324 @@
+// Package dataflow executes a data-combination plan as a demand-driven
+// data-flow tree over the simulated network, implementing the runtime
+// mechanics the paper's placement algorithms rely on:
+//
+//   - the demand-driven pipeline (each node holds its output until its
+//     consumer requests it, and requests new inputs only after dispatching —
+//     the "light-move requirement" window in which operators may relocate);
+//   - physical operator relocation with state transfer, consumer
+//     notification, and forwarding of in-flight messages;
+//   - the global algorithm's iteration-numbered barrier change-over with
+//     high-priority barrier messages (paper §2.2);
+//   - the local algorithm's bookkeeping: "later producer" marks and critical
+//     flags carried on demand messages, and the per-host timestamp/location
+//     vectors propagated by piggybacking (paper §2.3).
+//
+// Decision logic (when and where to move) is supplied by the placement
+// package through the WindowHook and ProposeSwitch APIs; this package only
+// provides faithful mechanics.
+package dataflow
+
+import (
+	"fmt"
+	"time"
+
+	"wadc/internal/monitor"
+	"wadc/internal/netmodel"
+	"wadc/internal/plan"
+	"wadc/internal/sim"
+	"wadc/internal/workload"
+)
+
+// Defaults for protocol constants not pinned by the paper.
+const (
+	// DefaultControlBytes is the wire size of demands, reports, notices and
+	// barrier messages: a small header plus the 1 KB monitoring piggyback.
+	DefaultControlBytes int64 = 1280
+	// DefaultStateBytes is the size of an operator's transferable state —
+	// relocation happens only "when the size of their state is small".
+	DefaultStateBytes int64 = 4096
+)
+
+// WindowHook is the policy callback invoked in every operator's relocation
+// window (after it dispatched its output for iter, before it requests new
+// inputs). It runs in the operator's own simulated process, so any
+// monitoring probes it performs are charged to the operator — "computation
+// of the placement is interleaved with the actual computation" (paper §2.3).
+// Returning (host, true) relocates the operator to host.
+type WindowHook func(p *sim.Proc, op plan.NodeID, iter int) (netmodel.HostID, bool)
+
+// Config assembles a dataflow run.
+type Config struct {
+	Net     *netmodel.Network
+	Mon     *monitor.System
+	Tree    *plan.Tree
+	Initial *plan.Placement
+	// Images[s][i] is server s's i-th partition.
+	Images [][]workload.Image
+	// Iterations is the number of partitions to combine (<= len(Images[s])).
+	Iterations int
+
+	ControlBytes    int64
+	StateBytes      int64
+	ComposePerPixel time.Duration
+
+	// TrackTransfers records every data transfer for protocol tests.
+	TrackTransfers bool
+}
+
+// TransferRecord describes one data-message transfer, for protocol analysis.
+type TransferRecord struct {
+	Iter     int
+	From, To plan.NodeID
+	FromHost netmodel.HostID
+	ToHost   netmodel.HostID
+	Bytes    int64
+	At       sim.Time
+}
+
+// MoveRecord describes one operator relocation.
+type MoveRecord struct {
+	At       sim.Time
+	Op       plan.NodeID
+	From, To netmodel.HostID
+	Barrier  bool // part of a coordinated (global) change-over
+}
+
+// Result summarises a completed run.
+type Result struct {
+	// Arrivals are the client's image arrival times (one per iteration).
+	Arrivals []sim.Time
+	// Completion is the arrival time of the last image.
+	Completion sim.Time
+	// MeanInterarrival is Completion / iterations — the paper reports "the
+	// average interarrival time for processed images at the client".
+	MeanInterarrival time.Duration
+	// Moves counts operator relocations; Switches counts completed barrier
+	// change-overs; Forwarded counts messages bounced by forwarders.
+	Moves     int
+	Switches  int
+	Forwarded int
+	// DataTransfers is populated when Config.TrackTransfers is set.
+	DataTransfers []TransferRecord
+	// MoveLog records every relocation.
+	MoveLog []MoveRecord
+}
+
+// Engine wires the tree's node processes together over the network.
+type Engine struct {
+	cfg   Config
+	k     *sim.Kernel
+	nodes map[plan.NodeID]*node
+	vecs  map[netmodel.HostID]*hostVectors
+
+	windowHook WindowHook
+
+	// Barrier state (global algorithm).
+	pendingProposal *plan.Placement
+	switchActive    *switchState
+	proposalSeq     int
+
+	res       Result
+	completed bool
+}
+
+type switchState struct {
+	prop    *proposal
+	reports map[plan.NodeID]int
+	order   *switchOrder
+}
+
+// New validates the configuration and builds an engine. Call Start to spawn
+// the processes, then run the kernel; Result is valid once the kernel drains.
+func New(cfg Config) *Engine {
+	if cfg.Net == nil || cfg.Tree == nil || cfg.Initial == nil {
+		panic("dataflow: Net, Tree and Initial are required")
+	}
+	if cfg.Initial.Tree() != cfg.Tree {
+		panic("dataflow: Initial placement is for a different tree")
+	}
+	if len(cfg.Images) != cfg.Tree.NumServers() {
+		panic(fmt.Sprintf("dataflow: %d image sequences for %d servers", len(cfg.Images), cfg.Tree.NumServers()))
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = len(cfg.Images[0])
+	}
+	for s, seq := range cfg.Images {
+		if len(seq) < cfg.Iterations {
+			panic(fmt.Sprintf("dataflow: server %d has %d images, need %d", s, len(seq), cfg.Iterations))
+		}
+	}
+	if cfg.ControlBytes <= 0 {
+		cfg.ControlBytes = DefaultControlBytes
+	}
+	if cfg.StateBytes <= 0 {
+		cfg.StateBytes = DefaultStateBytes
+	}
+	if cfg.ComposePerPixel <= 0 {
+		cfg.ComposePerPixel = netmodel.DefaultComposePerPixel
+	}
+	e := &Engine{
+		cfg:   cfg,
+		k:     cfg.Net.Kernel(),
+		nodes: make(map[plan.NodeID]*node),
+		vecs:  make(map[netmodel.HostID]*hostVectors),
+	}
+	t := cfg.Tree
+	for i := 0; i < t.NumNodes(); i++ {
+		id := plan.NodeID(i)
+		n := &node{
+			e:        e,
+			id:       id,
+			kind:     t.Node(id).Kind,
+			host:     cfg.Initial.Loc(id),
+			port:     basePort(id),
+			neighbor: make(map[plan.NodeID]addr),
+			lateMark: make(map[plan.NodeID]bool),
+			applied:  make(map[int]bool),
+		}
+		e.nodes[id] = n
+	}
+	// Neighbour tables from the initial placement.
+	for i := 0; i < t.NumNodes(); i++ {
+		n := e.nodes[plan.NodeID(i)]
+		tn := t.Node(n.id)
+		for _, c := range tn.Children {
+			n.neighbor[c] = e.nodes[c].address()
+		}
+		if tn.Parent != plan.NoNode {
+			n.neighbor[tn.Parent] = e.nodes[tn.Parent].address()
+		}
+	}
+	// The client is on the critical path by definition (paper §2.3: "root of
+	// the operator tree is always on the critical path").
+	e.nodes[t.ClientNode()].critical = true
+	return e
+}
+
+// Kernel returns the simulation kernel.
+func (e *Engine) Kernel() *sim.Kernel { return e.k }
+
+// Network returns the simulated network.
+func (e *Engine) Network() *netmodel.Network { return e.cfg.Net }
+
+// Monitor returns the monitoring system (may be nil).
+func (e *Engine) Monitor() *monitor.System { return e.cfg.Mon }
+
+// Tree returns the combination tree.
+func (e *Engine) Tree() *plan.Tree { return e.cfg.Tree }
+
+// Iterations returns the number of partitions being combined.
+func (e *Engine) Iterations() int { return e.cfg.Iterations }
+
+// SetWindowHook installs the per-operator relocation-window policy callback.
+// Must be called before Start.
+func (e *Engine) SetWindowHook(h WindowHook) { e.windowHook = h }
+
+// CurrentHost returns the host a node is currently on.
+func (e *Engine) CurrentHost(id plan.NodeID) netmodel.HostID { return e.nodes[id].host }
+
+// CurrentPlacement reconstructs the present operator assignment.
+func (e *Engine) CurrentPlacement() *plan.Placement {
+	p := e.cfg.Initial.Clone()
+	for _, op := range e.cfg.Tree.Operators() {
+		p.SetLoc(op, e.nodes[op].host)
+	}
+	return p
+}
+
+// NeighborHost returns where node id currently believes its neighbour nb is.
+func (e *Engine) NeighborHost(id, nb plan.NodeID) netmodel.HostID {
+	return e.nodes[id].neighbor[nb].host
+}
+
+// Counters returns node id's local-algorithm bookkeeping: how many times its
+// consumer marked it the later producer, how many data messages it sent, and
+// the consumer-critical flag from its most recent demand.
+func (e *Engine) Counters(id plan.NodeID) (markedLater, sends int, consumerCritical bool) {
+	n := e.nodes[id]
+	return n.markedLater, n.sends, n.consumerCritical
+}
+
+// ResetCounters zeroes a node's epoch counters (called by the local policy
+// at its epoch boundaries).
+func (e *Engine) ResetCounters(id plan.NodeID) {
+	n := e.nodes[id]
+	n.markedLater, n.sends = 0, 0
+}
+
+// SetCritical sets a node's own belief that it is on the critical path; the
+// flag rides on its subsequent demands so its producers can ground their own
+// decision (paper §2.3 step 3).
+func (e *Engine) SetCritical(id plan.NodeID, v bool) { e.nodes[id].critical = v }
+
+// Critical returns the node's current critical flag.
+func (e *Engine) Critical(id plan.NodeID) bool { return e.nodes[id].critical }
+
+// HostVectors returns host h's timestamp/location vectors (creating empty
+// ones on first use), for inspection by tests and policies.
+func (e *Engine) HostVectors(h netmodel.HostID) (ts []int64, loc []netmodel.HostID) {
+	return e.vectors(h).snapshot()
+}
+
+func (e *Engine) vectors(h netmodel.HostID) *hostVectors {
+	hv, ok := e.vecs[h]
+	if !ok {
+		hv = newHostVectors(e.cfg.Tree, e.cfg.Initial)
+		e.vecs[h] = hv
+	}
+	return hv
+}
+
+// ProposeSwitch hands the engine a new placement for a coordinated
+// change-over; the client attaches it to its next demand (paper §2.2). It
+// returns false if a change-over is already in progress or the run finished.
+func (e *Engine) ProposeSwitch(pl *plan.Placement) bool {
+	if e.switchActive != nil || e.pendingProposal != nil || e.completed {
+		return false
+	}
+	if pl.Equal(e.CurrentPlacement()) {
+		return false
+	}
+	e.pendingProposal = pl
+	return true
+}
+
+// SwitchInProgress reports whether a barrier change-over is active.
+func (e *Engine) SwitchInProgress() bool { return e.switchActive != nil }
+
+// Result returns the run summary; valid once the client has received every
+// iteration (i.e. after the kernel drains).
+func (e *Engine) Result() Result {
+	if !e.completed {
+		panic("dataflow: Result before completion")
+	}
+	return e.res
+}
+
+// Completed reports whether the client received all iterations.
+func (e *Engine) Completed() bool { return e.completed }
+
+// Start spawns a process per server, operator and client.
+func (e *Engine) Start() {
+	t := e.cfg.Tree
+	for _, s := range t.Servers() {
+		n := e.nodes[s]
+		e.k.Spawn(fmt.Sprintf("server%d", s), func(p *sim.Proc) { n.serverLoop(p) })
+	}
+	for _, op := range t.Operators() {
+		n := e.nodes[op]
+		e.k.Spawn(fmt.Sprintf("op%d", op), func(p *sim.Proc) { n.operatorLoop(p) })
+	}
+	cn := e.nodes[t.ClientNode()]
+	e.k.Spawn("client", func(p *sim.Proc) { cn.clientLoop(p) })
+}
+
+// finish records completion statistics.
+func (e *Engine) finish(arrivals []sim.Time) {
+	e.res.Arrivals = arrivals
+	if len(arrivals) > 0 {
+		e.res.Completion = arrivals[len(arrivals)-1]
+		e.res.MeanInterarrival = e.res.Completion.Duration() / time.Duration(len(arrivals))
+	}
+	e.completed = true
+}

@@ -1,0 +1,95 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"wadc/internal/netmodel"
+	"wadc/internal/plan"
+)
+
+// addr is a deliverable location: a host plus the mailbox (port) name of a
+// node's current incarnation. Every relocation gives the operator a fresh
+// port, so messages addressed to a previous incarnation land on the old
+// host's mailbox, where a forwarder bounces them to the current address —
+// the classic mobile-object forwarding-pointer scheme.
+type addr struct {
+	host netmodel.HostID
+	port string
+}
+
+func (a addr) String() string { return fmt.Sprintf("h%d:%s", a.host, a.port) }
+
+// basePort is a node's initial mailbox name.
+func basePort(id plan.NodeID) string { return fmt.Sprintf("n%d", id) }
+
+// incarnationPort is the mailbox name after the node's seq-th relocation.
+func incarnationPort(id plan.NodeID, seq int) string { return fmt.Sprintf("n%d#%d", id, seq) }
+
+// msgKind discriminates protocol messages.
+type msgKind int
+
+const (
+	kindDemand msgKind = iota
+	kindData
+	kindIterReport
+	kindSwitchAt
+	kindMoveNotice
+)
+
+func (k msgKind) String() string {
+	switch k {
+	case kindDemand:
+		return "demand"
+	case kindData:
+		return "data"
+	case kindIterReport:
+		return "iter-report"
+	case kindSwitchAt:
+		return "switch-at"
+	case kindMoveNotice:
+		return "move-notice"
+	default:
+		return "unknown"
+	}
+}
+
+// proposal is a new placement being propagated down the tree with demands
+// (the global algorithm's change-over initiation, paper §2.2).
+type proposal struct {
+	id        int
+	placement *plan.Placement
+}
+
+// switchOrder is the client's barrier broadcast: "switch atomically from the
+// old placement to the new placement when you reach iteration iter".
+type switchOrder struct {
+	id        int
+	iter      int
+	placement *plan.Placement
+}
+
+// envelope is the payload of every dataflow message.
+type envelope struct {
+	kind     msgKind
+	from     plan.NodeID
+	fromAddr addr
+	iter     int
+
+	// demand fields
+	markLater        bool // "you delivered later on the previous iteration"
+	consumerCritical bool // the consumer believes it is on the critical path
+	prop             *proposal
+
+	// data fields
+	bytes int64
+
+	// switch-at
+	order *switchOrder
+
+	// move-notice: the sender relocated; fromAddr is its new address.
+
+	// Piggybacked host vectors (paper §2.3): operator location vector and
+	// its timestamp vector, merged at the receiving host on dominance.
+	vecTS  []int64
+	vecLoc []netmodel.HostID
+}

@@ -1,0 +1,87 @@
+package dataflow
+
+import (
+	"wadc/internal/netmodel"
+	"wadc/internal/plan"
+)
+
+// hostVectors is the per-host operator-location state of the local
+// algorithm (paper §2.3): "All participating hosts maintain two vectors — a
+// timestamp vector and a location vector. Each vector has one entry for each
+// operator. When an operator is repositioned, the original site updates the
+// corresponding entry in the location vector and increments the corresponding
+// entry in the timestamp vector. The new information is propagated to peers
+// by piggybacking it on outgoing messages."
+type hostVectors struct {
+	ts  []int64             // per-operator logical timestamps
+	loc []netmodel.HostID   // per-operator believed locations
+	ops map[plan.NodeID]int // operator id -> vector index
+}
+
+func newHostVectors(t *plan.Tree, initial *plan.Placement) *hostVectors {
+	ops := t.Operators()
+	hv := &hostVectors{
+		ts:  make([]int64, len(ops)),
+		loc: make([]netmodel.HostID, len(ops)),
+		ops: make(map[plan.NodeID]int, len(ops)),
+	}
+	for i, op := range ops {
+		hv.ops[op] = i
+		hv.loc[i] = initial.Loc(op)
+	}
+	return hv
+}
+
+// recordMove is invoked at the operator's original site when it relocates.
+func (hv *hostVectors) recordMove(op plan.NodeID, to netmodel.HostID) {
+	i := hv.ops[op]
+	hv.ts[i]++
+	hv.loc[i] = to
+}
+
+// dominates reports whether vector a dominates vector b: every entry of a is
+// >= the corresponding entry of b and at least one is strictly greater
+// (paper §2.3, footnote 2).
+func dominates(a, b []int64) bool {
+	strict := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// merge applies an incoming piggybacked vector pair: "If the incoming
+// timestamp vector dominates the timestamp vector at the receiver, both the
+// vectors at the receiver are overwritten by the incoming vectors." It
+// reports whether the overwrite happened (so propagation can continue).
+func (hv *hostVectors) merge(ts []int64, loc []netmodel.HostID) bool {
+	if len(ts) != len(hv.ts) {
+		return false
+	}
+	if !dominates(ts, hv.ts) {
+		return false
+	}
+	copy(hv.ts, ts)
+	copy(hv.loc, loc)
+	return true
+}
+
+// snapshot returns copies suitable for piggybacking on an outgoing message.
+func (hv *hostVectors) snapshot() ([]int64, []netmodel.HostID) {
+	ts := make([]int64, len(hv.ts))
+	loc := make([]netmodel.HostID, len(hv.loc))
+	copy(ts, hv.ts)
+	copy(loc, hv.loc)
+	return ts, loc
+}
+
+// locOf returns the host this vector believes the operator is on.
+func (hv *hostVectors) locOf(op plan.NodeID) netmodel.HostID { return hv.loc[hv.ops[op]] }
+
+// tsOf returns the operator's timestamp entry.
+func (hv *hostVectors) tsOf(op plan.NodeID) int64 { return hv.ts[hv.ops[op]] }

@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wadc/internal/core"
+	"wadc/internal/metrics"
+	"wadc/internal/monitor"
+	"wadc/internal/placement"
+	"wadc/internal/trace"
+)
+
+// AblationResult quantifies the design choices DESIGN.md §6 calls out, each
+// as the mean completion time over the sweep's configurations (lower is
+// better) next to its baseline.
+type AblationResult struct {
+	Opts Options
+	// Rows are (name, baseline mean completion, variant mean completion).
+	Rows []AblationRow
+}
+
+// AblationRow is one ablation comparison.
+type AblationRow struct {
+	Name            string
+	Baseline        string
+	BaselineMeanSec float64
+	Variant         string
+	VariantMeanSec  float64
+	DeltaPct        float64 // (variant - baseline) / baseline * 100
+}
+
+// Ablations runs the four §6 ablations over the sweep's configurations.
+func Ablations(o Options) (*AblationResult, error) {
+	o = o.withDefaults()
+	pool := trace.NewStudyPool(o.Seed)
+	assignments := GenerateAssignments(pool, o.Configs, o.Servers, o.Seed)
+
+	mean := func(mutate func(*core.RunConfig)) (float64, error) {
+		var sum float64
+		for _, a := range assignments {
+			seed := runSeed(o.Seed, a.Index)
+			cfg := core.RunConfig{
+				Seed: seed, NumServers: o.Servers, Shape: core.CompleteBinaryTree,
+				Links:    a.LinkFn(),
+				Policy:   &placement.Global{Period: o.Period},
+				Workload: o.workloadConfig(),
+			}
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			res, err := core.Run(cfg)
+			if err != nil {
+				return 0, fmt.Errorf("ablation config %d: %w", a.Index, err)
+			}
+			sum += res.Completion.Seconds()
+		}
+		return sum / float64(len(assignments)), nil
+	}
+
+	base, err := mean(nil)
+	if err != nil {
+		return nil, err
+	}
+	r := &AblationResult{Opts: o}
+	add := func(name, baseLabel string, baseVal float64, varLabel string, mutate func(*core.RunConfig)) error {
+		v, err := mean(mutate)
+		if err != nil {
+			return err
+		}
+		r.Rows = append(r.Rows, AblationRow{
+			Name: name, Baseline: baseLabel, BaselineMeanSec: baseVal,
+			Variant: varLabel, VariantMeanSec: v,
+			DeltaPct: (v - base) / base * 100,
+		})
+		return nil
+	}
+	if err := add("barrier priority (§2.2)", "priority on", base, "flat FIFO",
+		func(c *core.RunConfig) { c.FlatPriorities = true }); err != nil {
+		return nil, err
+	}
+	if err := add("monitoring fidelity", "timed probes + 40s cache", base, "oracle knowledge",
+		func(c *core.RunConfig) {
+			mc := monitor.DefaultConfig()
+			mc.ProbeMode = monitor.ProbeOracle
+			c.Monitor = mc
+		}); err != nil {
+		return nil, err
+	}
+	if err := add("cache timeout T_thres", "40s (paper)", base, "5m (stale tolerated)",
+		func(c *core.RunConfig) {
+			mc := monitor.DefaultConfig()
+			mc.TThres = 5 * time.Minute
+			c.Monitor = mc
+		}); err != nil {
+		return nil, err
+	}
+	// The staggered-epoch ablation compares local against local, so it needs
+	// its own baseline.
+	localBase, err := mean(func(c *core.RunConfig) {
+		c.Policy = &placement.Local{Period: o.Period, Seed: c.Seed}
+	})
+	if err != nil {
+		return nil, err
+	}
+	localVar, err := mean(func(c *core.RunConfig) {
+		c.Policy = &placement.Local{Period: o.Period, Seed: c.Seed, Unstagger: true}
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Rows = append(r.Rows, AblationRow{
+		Name: "staggered epochs (§2.3, local)", Baseline: "staggered", BaselineMeanSec: localBase,
+		Variant: "unstaggered", VariantMeanSec: localVar,
+		DeltaPct: (localVar - localBase) / localBase * 100,
+	})
+	return r, nil
+}
+
+// Render prints the ablation table.
+func (r *AblationResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablations (DESIGN.md §6) — mean completion over %d configs, %d servers, global unless noted\n",
+		r.Opts.Configs, r.Opts.Servers)
+	tbl := metrics.NewTable("design choice", "baseline", "mean (s)", "variant", "mean (s)", "delta")
+	for _, row := range r.Rows {
+		tbl.AddRow(row.Name, row.Baseline, row.BaselineMeanSec,
+			row.Variant, row.VariantMeanSec, fmt.Sprintf("%+.1f%%", row.DeltaPct))
+	}
+	sb.WriteString(tbl.String())
+	return sb.String()
+}

@@ -1,0 +1,76 @@
+// Package experiment reproduces the paper's evaluation: it generates network
+// configurations by randomly assigning bandwidth traces to the links of a
+// complete graph over the participating hosts ("the assignments were
+// generated using a uniform random number generator"), runs every placement
+// algorithm on every configuration, and renders each figure of §5.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wadc/internal/core"
+	"wadc/internal/netmodel"
+	"wadc/internal/sim"
+	"wadc/internal/trace"
+)
+
+// NoonOffset starts every run twelve hours into the two-day traces: "we
+// extracted trace segments starting at noon (all experiments were run as if
+// they started at noon)".
+const NoonOffset = 12 * sim.Hour
+
+// Assignment is one network configuration: a trace for every link of the
+// complete graph over numServers+1 hosts.
+type Assignment struct {
+	Index      int
+	NumServers int
+	traces     map[[2]netmodel.HostID]*trace.Trace
+}
+
+// GenerateAssignments draws numConfigs independent configurations from the
+// trace pool, deterministically from seed. Each configuration's assignment
+// is independent of numConfigs (config i is identical whether 10 or 300
+// configurations are generated), so partial sweeps are comparable.
+func GenerateAssignments(pool *trace.Pool, numConfigs, numServers int, seed int64) []*Assignment {
+	out := make([]*Assignment, numConfigs)
+	for i := range out {
+		rng := rand.New(rand.NewSource(seed*1000003 + int64(i)))
+		a := &Assignment{
+			Index:      i,
+			NumServers: numServers,
+			traces:     make(map[[2]netmodel.HostID]*trace.Trace),
+		}
+		hosts := numServers + 1
+		for x := 0; x < hosts; x++ {
+			for y := x + 1; y < hosts; y++ {
+				tr := pool.Pick(rng).Offset(NoonOffset)
+				a.traces[[2]netmodel.HostID{netmodel.HostID(x), netmodel.HostID(y)}] = tr
+			}
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// LinkFn adapts the assignment to core.RunConfig.
+func (a *Assignment) LinkFn() core.LinkFn {
+	return func(x, y netmodel.HostID) *trace.Trace {
+		if x > y {
+			x, y = y, x
+		}
+		tr, ok := a.traces[[2]netmodel.HostID{x, y}]
+		if !ok {
+			panic(fmt.Sprintf("experiment: assignment %d missing link %d<->%d", a.Index, x, y))
+		}
+		return tr
+	}
+}
+
+// Trace returns the trace assigned to a link (for inspection).
+func (a *Assignment) Trace(x, y netmodel.HostID) *trace.Trace {
+	if x > y {
+		x, y = y, x
+	}
+	return a.traces[[2]netmodel.HostID{x, y}]
+}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteJSON serialises any figure result (or a Sweep) as indented JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("experiment: encoding JSON: %w", err)
+	}
+	return nil
+}
+
+// WriteSweepCSV dumps a sweep as CSV rows, one per (configuration,
+// algorithm) cell, in deterministic order.
+func WriteSweepCSV(w io.Writer, s *Sweep) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"config", "algorithm", "completion_s", "mean_interarrival_s",
+		"moves", "switches", "forwarded", "probes",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiment: writing CSV header: %w", err)
+	}
+	algs := make([]string, 0, len(s.Cells))
+	for alg := range s.Cells {
+		algs = append(algs, alg)
+	}
+	sort.Strings(algs)
+	for _, alg := range algs {
+		for _, c := range s.Cells[alg] {
+			row := []string{
+				strconv.Itoa(c.Config),
+				c.Algorithm,
+				strconv.FormatFloat(c.CompletionSec, 'f', 3, 64),
+				strconv.FormatFloat(c.MeanInterarrival, 'f', 3, 64),
+				strconv.Itoa(c.Moves),
+				strconv.Itoa(c.Switches),
+				strconv.Itoa(c.Forwarded),
+				strconv.FormatInt(c.Probes, 10),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("experiment: writing CSV row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiment: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// WriteSpeedupsCSV dumps a per-configuration speedup table (as produced by
+// Figure 6/10 results): one row per configuration, one column per algorithm,
+// algorithms in sorted order.
+func WriteSpeedupsCSV(w io.Writer, speedups map[string][]float64) error {
+	algs := make([]string, 0, len(speedups))
+	n := 0
+	for alg, xs := range speedups {
+		algs = append(algs, alg)
+		if len(xs) > n {
+			n = len(xs)
+		}
+	}
+	sort.Strings(algs)
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"config"}, algs...)); err != nil {
+		return fmt.Errorf("experiment: writing CSV header: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		row := []string{strconv.Itoa(i)}
+		for _, alg := range algs {
+			xs := speedups[alg]
+			if i < len(xs) {
+				row = append(row, strconv.FormatFloat(xs[i], 'f', 4, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiment: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiment: flushing CSV: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wadc/internal/core"
+)
+
+func smallSweep(t *testing.T) *Sweep {
+	t.Helper()
+	o := quickOpts()
+	o.Configs = 2
+	o.Iterations = 8
+	sweep, err := RunSweep(o, core.CompleteBinaryTree, StandardAlgorithms(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sweep
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	sweep := smallSweep(t)
+	var sb strings.Builder
+	if err := WriteJSON(&sb, sweep.Cells); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string][]Cell
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != 4 || len(back["global"]) != 2 {
+		t.Errorf("round trip lost data: %d algs", len(back))
+	}
+	if back["global"][0] != sweep.Cells["global"][0] {
+		t.Errorf("cell mismatch: %+v vs %+v", back["global"][0], sweep.Cells["global"][0])
+	}
+}
+
+func TestWriteSweepCSV(t *testing.T) {
+	sweep := smallSweep(t)
+	var sb strings.Builder
+	if err := WriteSweepCSV(&sb, sweep); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// Header + 4 algorithms x 2 configs.
+	if len(lines) != 9 {
+		t.Fatalf("lines = %d:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "config,algorithm,completion_s") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Deterministic algorithm order (sorted).
+	if !strings.Contains(lines[1], "download-all") {
+		t.Errorf("first data row = %q, want download-all (sorted)", lines[1])
+	}
+}
+
+func TestWriteSpeedupsCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteSpeedupsCSV(&sb, map[string][]float64{
+		"global": {2.5, 3.0},
+		"local":  {1.5}, // shorter column: padded
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "config,global,local" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,2.5000,1.5000" {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+	if lines[2] != "1,3.0000," {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+}
+
+func TestDiscussionQuick(t *testing.T) {
+	o := quickOpts()
+	o.Configs = 1
+	o.Iterations = 16
+	r, err := Discussion(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"global", "local"} {
+		if len(r.Gap[alg]) != 1 {
+			t.Errorf("%s gaps = %v", alg, r.Gap[alg])
+		}
+		if r.Gap[alg][0] < 1.0 {
+			t.Errorf("%s gap %.2f below 1 (optimum beaten?)", alg, r.Gap[alg][0])
+		}
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestOrderingQuick(t *testing.T) {
+	o := quickOpts()
+	o.Configs = 2
+	o.Iterations = 10
+	r, err := Ordering(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range []string{"complete-binary", "left-deep", "greedy-bandwidth"} {
+		if r.AvgSpeedup[shape] <= 0 {
+			t.Errorf("%s speedup = %v", shape, r.AvgSpeedup[shape])
+		}
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFigure8Quick(t *testing.T) {
+	o := quickOpts()
+	o.Configs = 1
+	o.Iterations = 10
+	r, err := Figure8(o, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.AvgSpeedup["global"]) != 2 {
+		t.Errorf("speedups = %v", r.AvgSpeedup)
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFigure7QuickHarness(t *testing.T) {
+	o := quickOpts()
+	o.Configs = 1
+	o.Iterations = 10
+	r, err := Figure7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.AvgSpeedup) != 7 {
+		t.Errorf("speedups = %v", r.AvgSpeedup)
+	}
+}
+
+func TestFigure10Quick(t *testing.T) {
+	o := quickOpts()
+	o.Configs = 1
+	o.Iterations = 10
+	r, err := Figure10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Speedups) != 2 {
+		t.Errorf("shapes = %d", len(r.Speedups))
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	o := quickOpts()
+	o.Configs = 1
+	o.Iterations = 10
+	r, err := Ablations(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.BaselineMeanSec <= 0 || row.VariantMeanSec <= 0 {
+			t.Errorf("row %q has non-positive means: %+v", row.Name, row)
+		}
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"wadc/internal/core"
+	"wadc/internal/placement"
+	"wadc/internal/trace"
+	"wadc/internal/workload"
+)
+
+// Options parameterises a sweep. Zero values take the paper's defaults.
+type Options struct {
+	// Configs is the number of network configurations (paper: 300).
+	Configs int
+	// Servers is the number of data sources (paper main experiments: 8).
+	Servers int
+	// Iterations is the number of images per server (paper: 180).
+	Iterations int
+	// Seed drives configuration generation and per-run randomness.
+	Seed int64
+	// Period is the on-line algorithms' relocation period (paper: 10 min).
+	Period time.Duration
+	// Shape is the combination order (default complete binary).
+	Shape core.TreeShape
+	// Workers bounds concurrent simulations (default: NumCPU).
+	Workers int
+	// MeanImageBytes overrides the workload's mean image size (paper:
+	// 128 KB).
+	MeanImageBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Configs <= 0 {
+		o.Configs = 300
+	}
+	if o.Servers <= 0 {
+		o.Servers = 8
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = workload.DefaultImagesPerServer
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Period <= 0 {
+		o.Period = placement.DefaultPeriod
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.MeanImageBytes <= 0 {
+		o.MeanImageBytes = workload.DefaultMeanBytes
+	}
+	return o
+}
+
+func (o Options) workloadConfig() workload.Config {
+	return workload.Config{
+		ImagesPerServer: o.Iterations,
+		MeanBytes:       o.MeanImageBytes,
+		SpreadFrac:      workload.DefaultSpreadFrac,
+	}
+}
+
+// AlgSpec names an algorithm and constructs a fresh policy per run (policies
+// such as Local carry per-run state).
+type AlgSpec struct {
+	Name string
+	New  func(o Options, runSeed int64) placement.Policy
+}
+
+// StandardAlgorithms returns the paper's four algorithms.
+func StandardAlgorithms() []AlgSpec {
+	return []AlgSpec{
+		{Name: "download-all", New: func(Options, int64) placement.Policy { return placement.DownloadAll{} }},
+		{Name: "one-shot", New: func(Options, int64) placement.Policy { return placement.OneShot{} }},
+		{Name: "global", New: func(o Options, _ int64) placement.Policy { return &placement.Global{Period: o.Period} }},
+		{Name: "local", New: func(o Options, seed int64) placement.Policy { return &placement.Local{Period: o.Period, Seed: seed} }},
+	}
+}
+
+// Cell is one (configuration, algorithm) result.
+type Cell struct {
+	Config           int
+	Algorithm        string
+	CompletionSec    float64
+	MeanInterarrival float64 // seconds per image at the client
+	Moves            int
+	Switches         int
+	Forwarded        int
+	Probes           int64
+}
+
+// Sweep holds every cell of a sweep, grouped by algorithm, aligned by
+// configuration index.
+type Sweep struct {
+	Opts  Options
+	Cells map[string][]Cell
+}
+
+// Completions returns the per-configuration completion times of one
+// algorithm, in configuration order.
+func (s *Sweep) Completions(alg string) []float64 {
+	cells := s.Cells[alg]
+	out := make([]float64, len(cells))
+	for i, c := range cells {
+		out[i] = c.CompletionSec
+	}
+	return out
+}
+
+// MeanInterarrival averages the per-image interarrival time across all
+// configurations of one algorithm (the paper's "average interarrival time
+// for processed images at the client").
+func (s *Sweep) MeanInterarrival(alg string) float64 {
+	cells := s.Cells[alg]
+	if len(cells) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cells {
+		sum += c.MeanInterarrival
+	}
+	return sum / float64(len(cells))
+}
+
+// runSeed gives every configuration a stable seed shared by all algorithms,
+// so each algorithm faces the identical workload and trace assignment.
+func runSeed(base int64, config int) int64 { return base*7919 + int64(config) }
+
+// RunSweep runs every algorithm on every configuration. The pool defaults to
+// the study pool derived from the options seed.
+func RunSweep(o Options, shape core.TreeShape, algs []AlgSpec, pool *trace.Pool) (*Sweep, error) {
+	o = o.withDefaults()
+	if pool == nil {
+		pool = trace.NewStudyPool(o.Seed)
+	}
+	assignments := GenerateAssignments(pool, o.Configs, o.Servers, o.Seed)
+
+	type job struct {
+		cfg int
+		alg int
+	}
+	jobs := make([]job, 0, len(assignments)*len(algs))
+	for c := range assignments {
+		for a := range algs {
+			jobs = append(jobs, job{cfg: c, alg: a})
+		}
+	}
+	results := make([]Cell, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.Workers)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			a := algs[j.alg]
+			seed := runSeed(o.Seed, j.cfg)
+			res, err := core.Run(core.RunConfig{
+				Seed:       seed,
+				NumServers: o.Servers,
+				Shape:      shape,
+				Links:      assignments[j.cfg].LinkFn(),
+				Policy:     a.New(o, seed),
+				Workload:   o.workloadConfig(),
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("config %d, %s: %w", j.cfg, a.Name, err)
+				return
+			}
+			results[i] = Cell{
+				Config:           j.cfg,
+				Algorithm:        a.Name,
+				CompletionSec:    res.Completion.Seconds(),
+				MeanInterarrival: res.MeanInterarrival.Seconds(),
+				Moves:            res.Moves,
+				Switches:         res.Switches,
+				Forwarded:        res.Forwarded,
+				Probes:           res.Probes,
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sweep := &Sweep{Opts: o, Cells: make(map[string][]Cell)}
+	for i, j := range jobs {
+		name := algs[j.alg].Name
+		sweep.Cells[name] = append(sweep.Cells[name], results[i])
+	}
+	return sweep, nil
+}

@@ -1,0 +1,30 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"wadc/internal/core"
+)
+
+func TestTimingFullScale(t *testing.T) {
+	start := time.Now()
+	o := Options{Configs: 2, Servers: 8, Iterations: 180, Seed: 1}
+	sweep, err := RunSweep(o, core.CompleteBinaryTree, StandardAlgorithms(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("2 configs x 4 algs, 8 servers, 180 iters: %v wall", time.Since(start))
+	for alg, cells := range sweep.Cells {
+		t.Logf("%s: completion %.1fs / %.1fs sim; moves %d/%d switches %d/%d",
+			alg, cells[0].CompletionSec, cells[1].CompletionSec,
+			cells[0].Moves, cells[1].Moves, cells[0].Switches, cells[1].Switches)
+	}
+	start = time.Now()
+	o32 := Options{Configs: 1, Servers: 32, Iterations: 180, Seed: 1}
+	_, err = RunSweep(o32, core.CompleteBinaryTree, StandardAlgorithms(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("1 config x 4 algs, 32 servers, 180 iters: %v wall", time.Since(start))
+}

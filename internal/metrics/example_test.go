@@ -1,0 +1,39 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"wadc/internal/metrics"
+)
+
+func ExampleSpeedups() {
+	downloadAll := []float64{100, 120, 80} // completion times, seconds
+	global := []float64{40, 60, 20}
+	sp := metrics.Speedups(downloadAll, global)
+	fmt.Printf("%.1f %.1f %.1f median=%.1f\n", sp[0], sp[1], sp[2], metrics.Median(sp))
+	// Output: 2.5 2.0 4.0 median=2.5
+}
+
+func ExampleSummarize() {
+	s := metrics.Summarize([]float64{1, 2, 3, 4, 5})
+	fmt.Println(s)
+	// Output: n=5 mean=3.00 median=3.00 min=1.00 p25=2.00 p75=4.00 max=5.00 sd=1.41
+}
+
+func ExampleTable() {
+	t := metrics.NewTable("algorithm", "speedup")
+	t.AddRow("one-shot", 1.75)
+	t.AddRow("global", 2.39)
+	fmt.Print(t.String())
+	// Output:
+	// algorithm  speedup
+	// ---------  -------
+	// one-shot   1.75
+	// global     2.39
+}
+
+func ExamplePercentile() {
+	xs := []float64{10, 20, 30, 40}
+	fmt.Printf("%.0f %.0f\n", metrics.Percentile(xs, 0), metrics.Percentile(xs, 100))
+	// Output: 10 40
+}

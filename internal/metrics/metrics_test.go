@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBasicStats(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if !almost(Mean(xs), 2.5) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !almost(Median(xs), 2.5) {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 4 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !almost(StdDev(xs), math.Sqrt(1.25)) {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty stats not zero")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {-5, 10}, {100, 50}, {105, 50}, {50, 30}, {25, 20}, {75, 40}, {12.5, 15},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almost(got, tt.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+}
+
+func TestSortedCopyDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := SortedCopy(xs)
+	if !sort.Float64sAreSorted(s) {
+		t.Error("not sorted")
+	}
+	if xs[0] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || !almost(s.Mean, 2.5) || !almost(s.Median, 2.5) || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "median=2.50") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	got := Speedups([]float64{100, 50}, []float64{25, 50})
+	if got[0] != 4 || got[1] != 1 {
+		t.Errorf("speedups = %v", got)
+	}
+	if got := Speedups([]float64{1}, []float64{0}); got[0] != 0 {
+		t.Errorf("zero denominator = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	Speedups([]float64{1}, []float64{1, 2})
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	if len([]rune(s)) != 8 {
+		t.Errorf("sparkline = %q (%d runes)", s, len([]rune(s)))
+	}
+	if Sparkline(nil, 10) != "" || Sparkline([]float64{1}, 0) != "" {
+		t.Error("degenerate sparkline not empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5}, 3)
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat sparkline = %q", flat)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("alg", "speedup")
+	tb.AddRow("global", 4.5)
+	tb.AddRow("one-shot", 3.25)
+	out := tb.String()
+	if !strings.Contains(out, "global") || !strings.Contains(out, "4.50") || !strings.Contains(out, "3.25") {
+		t.Errorf("table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines", len(lines))
+	}
+}
+
+// Property: percentile is monotone in p and bounded by [Min, Max].
+func TestPercentileMonotoneProperty(t *testing.T) {
+	prop := func(raw []float64, p1, p2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a, b := math.Mod(math.Abs(p1), 100), math.Mod(math.Abs(p2), 100)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		return pa <= pb+1e-9 && pa >= Min(xs)-1e-9 && pb <= Max(xs)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

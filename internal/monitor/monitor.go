@@ -1,0 +1,331 @@
+// Package monitor implements the paper's on-demand network monitoring scheme
+// (§4): passive measurement of any transfer of at least S_thres bytes (both
+// endpoints learn the bandwidth), a per-host measurement cache whose entries
+// time out after T_thres seconds, and piggybacking of the most recent
+// measurements — those that fit within 1 KB — onto every outgoing message.
+// Placement algorithms obtain bandwidth estimates through Estimate, which
+// falls back to an on-demand probe (a 16 KB round trip, as in the paper's
+// trace methodology and systems like the Network Weather Service) when a
+// host's cache has no fresh entry.
+package monitor
+
+import (
+	"sort"
+	"time"
+
+	"wadc/internal/netmodel"
+	"wadc/internal/sim"
+	"wadc/internal/trace"
+)
+
+// Defaults from the paper's experiments.
+const (
+	// DefaultSThres: transfers at least this large are measured passively.
+	DefaultSThres int64 = 16 * 1024
+	// DefaultTThres: cache entries time out after this long. The paper chose
+	// 40 s — "a little less than half" the ~2 min expected period between
+	// significant bandwidth changes in its traces.
+	DefaultTThres = 40 * time.Second
+	// DefaultPiggybackBudget: the freshest measurements that fit within 1 KB
+	// ride on every message.
+	DefaultPiggybackBudget = 1024
+	// DefaultEntrySize: wire size of one piggybacked measurement (two host
+	// ids, a bandwidth, a timestamp).
+	DefaultEntrySize = 16
+	// DefaultProbeSize: on-demand probes move 16 KB each way.
+	DefaultProbeSize int64 = 16 * 1024
+	// DefaultProbeTimeout caps how long a timed probe of a collapsed link
+	// may take; a probe that would exceed it reports the implied
+	// lower-bound bandwidth instead (Network Weather Service-style probe
+	// timeouts). Without this, measuring a dead link stalls the placement
+	// algorithm for the full (possibly hours-long) round trip.
+	DefaultProbeTimeout = 30 * time.Second
+)
+
+// ProbeMode selects how on-demand bandwidth queries are charged.
+type ProbeMode int
+
+const (
+	// ProbeTimed charges the requesting process the round-trip time of a
+	// 16 KB probe against the link's current bandwidth, then returns the
+	// measured value. This is the default: probes cost time but are not
+	// routed through the endpoint NICs (the paper notes that on-demand
+	// monitoring at the 5-10 minute relocation period does not significantly
+	// impact the results).
+	ProbeTimed ProbeMode = iota
+	// ProbeOracle returns the ground-truth bandwidth instantly. Used for
+	// ablations isolating algorithm quality from monitoring cost.
+	ProbeOracle
+	// ProbeNetwork routes real 16 KB probe messages through the endpoint
+	// NICs via per-host monitor demons (the Komodo / Network Weather
+	// Service architecture the paper cites): probes contend with data
+	// traffic and are measured passively like any other large transfer.
+	ProbeNetwork
+)
+
+// Entry is a cached bandwidth measurement for a host pair.
+type Entry struct {
+	A, B netmodel.HostID // canonical order: A < B
+	BW   trace.Bandwidth
+	At   sim.Time // measurement time
+}
+
+// Config parameterises the monitoring system.
+type Config struct {
+	SThres          int64
+	TThres          time.Duration
+	PiggybackBudget int
+	EntrySize       int
+	ProbeMode       ProbeMode
+	ProbeSize       int64
+	ProbeTimeout    time.Duration
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		SThres:          DefaultSThres,
+		TThres:          DefaultTThres,
+		PiggybackBudget: DefaultPiggybackBudget,
+		EntrySize:       DefaultEntrySize,
+		ProbeMode:       ProbeTimed,
+		ProbeSize:       DefaultProbeSize,
+		ProbeTimeout:    DefaultProbeTimeout,
+	}
+}
+
+type pairKey [2]netmodel.HostID
+
+func keyOf(a, b netmodel.HostID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// Cache is one host's bandwidth measurement cache.
+type Cache struct {
+	host    netmodel.HostID
+	sys     *System
+	entries map[pairKey]Entry
+}
+
+// Record stores a measurement, keeping the newer of the existing and new
+// entries for the pair.
+func (c *Cache) Record(a, b netmodel.HostID, bw trace.Bandwidth, at sim.Time) {
+	k := keyOf(a, b)
+	if cur, ok := c.entries[k]; ok && cur.At >= at {
+		return
+	}
+	c.entries[k] = Entry{A: k[0], B: k[1], BW: bw, At: at}
+}
+
+// Lookup returns the cached measurement for (a, b) if it is fresh (younger
+// than T_thres).
+func (c *Cache) Lookup(a, b netmodel.HostID) (Entry, bool) {
+	e, ok := c.entries[keyOf(a, b)]
+	if !ok {
+		return Entry{}, false
+	}
+	if c.sys.net.Kernel().Now().Sub(e.At) > c.sys.cfg.TThres {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// LookupAny returns the cached measurement regardless of age.
+func (c *Cache) LookupAny(a, b netmodel.HostID) (Entry, bool) {
+	e, ok := c.entries[keyOf(a, b)]
+	return e, ok
+}
+
+// Len returns the number of cached entries (including stale ones).
+func (c *Cache) Len() int { return len(c.entries) }
+
+// freshest returns up to max entries, newest first.
+func (c *Cache) freshest(max int) []Entry {
+	all := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At > all[j].At
+		}
+		if all[i].A != all[j].A {
+			return all[i].A < all[j].A
+		}
+		return all[i].B < all[j].B
+	})
+	if len(all) > max {
+		all = all[:max]
+	}
+	return all
+}
+
+// merge folds piggybacked entries into the cache, keeping newer timestamps.
+func (c *Cache) merge(entries []Entry) {
+	for _, e := range entries {
+		c.Record(e.A, e.B, e.BW, e.At)
+	}
+}
+
+// System is the monitoring subsystem for one simulated network. It observes
+// every transfer (passive monitoring + piggybacking) and serves bandwidth
+// estimates to the placement algorithms.
+type System struct {
+	net    *netmodel.Network
+	cfg    Config
+	caches map[netmodel.HostID]*Cache
+
+	probes       int64
+	passiveMeas  int64
+	cacheHits    int64
+	cacheMisses  int64
+	piggybacked  int64
+	mergedErrors int64 // reserved; merge cannot currently fail
+
+	// ProbeNetwork state.
+	demons   bool
+	probeSeq int64
+	pongs    map[pongKey]bool
+}
+
+// NewSystem creates the monitoring system and registers it as a transfer
+// observer on the network.
+func NewSystem(net *netmodel.Network, cfg Config) *System {
+	if cfg.SThres <= 0 {
+		cfg.SThres = DefaultSThres
+	}
+	if cfg.TThres <= 0 {
+		cfg.TThres = DefaultTThres
+	}
+	if cfg.PiggybackBudget <= 0 {
+		cfg.PiggybackBudget = DefaultPiggybackBudget
+	}
+	if cfg.EntrySize <= 0 {
+		cfg.EntrySize = DefaultEntrySize
+	}
+	if cfg.ProbeSize <= 0 {
+		cfg.ProbeSize = DefaultProbeSize
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	s := &System{net: net, cfg: cfg, caches: make(map[netmodel.HostID]*Cache)}
+	net.Observe(s)
+	if cfg.ProbeMode == ProbeNetwork {
+		s.EnableNetworkProbes()
+	}
+	return s
+}
+
+// Config returns the active configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Cache returns host h's measurement cache, creating it on first use.
+func (s *System) Cache(h netmodel.HostID) *Cache {
+	c, ok := s.caches[h]
+	if !ok {
+		c = &Cache{host: h, sys: s, entries: make(map[pairKey]Entry)}
+		s.caches[h] = c
+	}
+	return c
+}
+
+// Probes returns the number of on-demand probes performed.
+func (s *System) Probes() int64 { return s.probes }
+
+// PassiveMeasurements returns the number of passive measurements recorded.
+func (s *System) PassiveMeasurements() int64 { return s.passiveMeas }
+
+// CacheHitRate returns the fraction of Estimate calls served from cache.
+func (s *System) CacheHitRate() float64 {
+	total := s.cacheHits + s.cacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.cacheHits) / float64(total)
+}
+
+// BeforeSend implements netmodel.Observer: attach the sender's freshest
+// measurements, as many as fit in the piggyback budget.
+func (s *System) BeforeSend(msg *netmodel.Message) {
+	maxEntries := s.cfg.PiggybackBudget / s.cfg.EntrySize
+	entries := s.Cache(msg.Src).freshest(maxEntries)
+	if len(entries) > 0 {
+		msg.Piggyback = entries
+		s.piggybacked += int64(len(entries))
+	}
+}
+
+// AfterDeliver implements netmodel.Observer: record a passive measurement at
+// both endpoints if the message was large enough, and merge any piggybacked
+// entries into the receiver's cache.
+func (s *System) AfterDeliver(msg *netmodel.Message, linkDuration time.Duration) {
+	if msg.Src != msg.Dst && msg.Size >= s.cfg.SThres {
+		bw := s.net.MeasuredBandwidth(msg.Size, linkDuration)
+		if bw > 0 {
+			now := s.net.Kernel().Now()
+			s.Cache(msg.Src).Record(msg.Src, msg.Dst, bw, now)
+			s.Cache(msg.Dst).Record(msg.Src, msg.Dst, bw, now)
+			s.passiveMeas++
+		}
+	}
+	if entries, ok := msg.Piggyback.([]Entry); ok {
+		s.Cache(msg.Dst).merge(entries)
+	}
+}
+
+// Probe performs an on-demand bandwidth measurement of the (a, b) link on
+// behalf of process p, records it in viewer's cache (and both endpoints'),
+// and returns it. Cost depends on the configured ProbeMode.
+func (s *System) Probe(p *sim.Proc, viewer, a, b netmodel.HostID) trace.Bandwidth {
+	s.probes++
+	if s.cfg.ProbeMode == ProbeNetwork {
+		return s.networkProbe(p, viewer, a, b)
+	}
+	if s.cfg.ProbeMode == ProbeTimed {
+		tr := s.net.Link(a, b)
+		rtt := 2 * (s.net.Startup() + tr.TransferDuration(p.Now(), s.cfg.ProbeSize))
+		if rtt > s.cfg.ProbeTimeout {
+			// Probe timeout: report the bandwidth a transfer completing in
+			// exactly the timeout would imply — a pessimistic lower bound
+			// that correctly marks collapsed links as unusable without
+			// stalling the caller for the full round trip.
+			p.Hold(s.cfg.ProbeTimeout)
+			now := s.net.Kernel().Now()
+			bw := trace.Bandwidth(float64(s.cfg.ProbeSize) / s.cfg.ProbeTimeout.Seconds())
+			s.Cache(viewer).Record(a, b, bw, now)
+			s.Cache(a).Record(a, b, bw, now)
+			s.Cache(b).Record(a, b, bw, now)
+			return bw
+		}
+		p.Hold(rtt)
+	}
+	now := s.net.Kernel().Now()
+	bw := s.net.BandwidthAt(a, b, now)
+	s.Cache(viewer).Record(a, b, bw, now)
+	s.Cache(a).Record(a, b, bw, now)
+	s.Cache(b).Record(a, b, bw, now)
+	return bw
+}
+
+// Estimate returns viewer's best estimate of the (a, b) bandwidth: a fresh
+// cache entry if available, otherwise an on-demand probe. Same-host "links"
+// are reported as infinitely fast via a very large constant.
+func (s *System) Estimate(p *sim.Proc, viewer, a, b netmodel.HostID) trace.Bandwidth {
+	if a == b {
+		return localBandwidth
+	}
+	if e, ok := s.Cache(viewer).Lookup(a, b); ok {
+		s.cacheHits++
+		return e.BW
+	}
+	s.cacheMisses++
+	return s.Probe(p, viewer, a, b)
+}
+
+// localBandwidth stands in for "no network hop": transfers between co-located
+// operators are free, so the estimate is effectively infinite.
+const localBandwidth trace.Bandwidth = 1 << 40

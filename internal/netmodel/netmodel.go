@@ -1,0 +1,299 @@
+// Package netmodel simulates the wide-area network of the paper's
+// experiments: a set of hosts forming a complete graph, each host with a
+// single network interface ("servers can send or receive at most one message
+// at a time"), links whose bandwidth follows a trace, a fixed per-message
+// start-up cost (50 ms in the paper), priority messages (barrier messages
+// overtake queued data transfers), endpoint congestion and buffering, plus a
+// local disk and CPU per host for the workload model.
+package netmodel
+
+import (
+	"fmt"
+	"time"
+
+	"wadc/internal/sim"
+	"wadc/internal/trace"
+)
+
+// Default model parameters from the paper's experiments (§4).
+const (
+	// DefaultStartup is the per-message start-up cost.
+	DefaultStartup = 50 * time.Millisecond
+	// DefaultDiskBandwidth is the server disk bandwidth (3 MB/s).
+	DefaultDiskBandwidth = 3 * 1024 * 1024
+	// DefaultComposePerPixel is the composition cost per pixel (7 µs).
+	DefaultComposePerPixel = 7 * time.Microsecond
+)
+
+// HostID identifies a host within a Network.
+type HostID int
+
+// Host is a simulated machine: one NIC (capacity-1 resource serialising all
+// sends and receives), one CPU and one disk, and a set of named mailboxes
+// ("ports") on which processes receive messages.
+type Host struct {
+	id    HostID
+	name  string
+	net   *Network
+	nic   *sim.Resource
+	cpu   *sim.Resource
+	disk  *sim.Resource
+	ports map[string]*sim.Mailbox
+
+	diskBandwidth float64 // bytes/s
+}
+
+// ID returns the host's identifier.
+func (h *Host) ID() HostID { return h.id }
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// NIC returns the host's network interface resource (exported for tests and
+// utilisation reporting).
+func (h *Host) NIC() *sim.Resource { return h.nic }
+
+// Port returns (creating on first use) the mailbox with the given name.
+// Messages addressed to (host, port) are delivered here.
+func (h *Host) Port(name string) *sim.Mailbox {
+	mb, ok := h.ports[name]
+	if !ok {
+		mb = sim.NewMailbox(h.net.k, fmt.Sprintf("%s:%s", h.name, name))
+		h.ports[name] = mb
+	}
+	return mb
+}
+
+// ReadDisk blocks p while size bytes are read from the host's disk.
+func (h *Host) ReadDisk(p *sim.Proc, size int64) {
+	d := time.Duration(float64(size) / h.diskBandwidth * float64(time.Second))
+	h.disk.Use(p, sim.PriorityData, d)
+}
+
+// Compute blocks p while d of CPU work is performed; co-located operators
+// contend for the single CPU.
+func (h *Host) Compute(p *sim.Proc, d time.Duration) {
+	h.cpu.Use(p, sim.PriorityData, d)
+}
+
+// Message is a unit of network communication. Payload carries protocol
+// content; Piggyback carries monitoring data attached by the observer.
+type Message struct {
+	Src, Dst HostID
+	Port     string
+	Size     int64
+	Prio     sim.Priority
+	Payload  any
+	// Piggyback is set by the transfer observer's BeforeSend hook (the
+	// monitor attaches its freshest bandwidth measurements here, within its
+	// 1 KB budget) and consumed on delivery.
+	Piggyback any
+	// SentAt and DeliveredAt are stamped by the network.
+	SentAt      sim.Time
+	DeliveredAt sim.Time
+}
+
+// Observer hooks message transfers; the monitoring subsystem implements it.
+type Observer interface {
+	// BeforeSend runs when the transfer begins occupying the link (after
+	// queueing). It may attach piggyback data.
+	BeforeSend(msg *Message)
+	// AfterDeliver runs at delivery with the link-level duration (transfer
+	// time excluding NIC queueing, including start-up).
+	AfterDeliver(msg *Message, linkDuration time.Duration)
+}
+
+// Network is the complete-graph network. Construct with NewNetwork, add
+// hosts, then set a bandwidth trace per link.
+type Network struct {
+	k         *sim.Kernel
+	hosts     []*Host
+	links     map[[2]HostID]*trace.Trace
+	startup   time.Duration
+	flatPrio  bool
+	observers []Observer
+
+	// Transfer accounting.
+	transfers      int64
+	bytesMoved     int64
+	controlSends   int64
+	barrierOvertax int64 // barrier messages that found a non-empty NIC queue
+}
+
+// NetOption configures a Network.
+type NetOption func(*Network)
+
+// WithStartup overrides the per-message start-up cost.
+func WithStartup(d time.Duration) NetOption {
+	return func(n *Network) { n.startup = d }
+}
+
+// WithFlatPriorities makes the network ignore message priorities when
+// queueing for NICs and mailboxes (everything is served FIFO). This is the
+// ablation of the paper's §2.2 design point that barrier messages must get
+// priority so a change-over is not stuck behind large data transfers.
+func WithFlatPriorities() NetOption {
+	return func(n *Network) { n.flatPrio = true }
+}
+
+// NewNetwork creates an empty network on kernel k with default parameters.
+func NewNetwork(k *sim.Kernel, opts ...NetOption) *Network {
+	n := &Network{
+		k:       k,
+		links:   make(map[[2]HostID]*trace.Trace),
+		startup: DefaultStartup,
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// Kernel returns the owning simulation kernel.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Startup returns the per-message start-up cost.
+func (n *Network) Startup() time.Duration { return n.startup }
+
+// AddHost creates a host with the given name.
+func (n *Network) AddHost(name string) *Host {
+	h := &Host{
+		id:            HostID(len(n.hosts)),
+		name:          name,
+		net:           n,
+		nic:           sim.NewResource(n.k, name+".nic", 1),
+		cpu:           sim.NewResource(n.k, name+".cpu", 1),
+		disk:          sim.NewResource(n.k, name+".disk", 1),
+		ports:         make(map[string]*sim.Mailbox),
+		diskBandwidth: DefaultDiskBandwidth,
+	}
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// Host returns the host with the given id.
+func (n *Network) Host(id HostID) *Host { return n.hosts[id] }
+
+// NumHosts returns the number of hosts.
+func (n *Network) NumHosts() int { return len(n.hosts) }
+
+// Observe registers a transfer observer.
+func (n *Network) Observe(o Observer) { n.observers = append(n.observers, o) }
+
+func linkKey(a, b HostID) [2]HostID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]HostID{a, b}
+}
+
+// SetLink assigns a bandwidth trace to the (undirected) link between a and b.
+func (n *Network) SetLink(a, b HostID, tr *trace.Trace) {
+	if a == b {
+		panic("netmodel: self-link")
+	}
+	n.links[linkKey(a, b)] = tr
+}
+
+// Link returns the trace for the link between a and b, or nil if unset.
+func (n *Network) Link(a, b HostID) *trace.Trace { return n.links[linkKey(a, b)] }
+
+// BandwidthAt returns the ground-truth bandwidth of the link at time t. This
+// is the oracle interface: only the monitoring subsystem (probes and passive
+// measurement) and tests may use it; placement algorithms see monitored
+// values.
+func (n *Network) BandwidthAt(a, b HostID, t sim.Time) trace.Bandwidth {
+	tr := n.Link(a, b)
+	if tr == nil {
+		panic(fmt.Sprintf("netmodel: no link %d<->%d", a, b))
+	}
+	return tr.At(t)
+}
+
+// Transfers returns the total number of remote message transfers completed.
+func (n *Network) Transfers() int64 { return n.transfers }
+
+// BytesMoved returns the total bytes moved over the network.
+func (n *Network) BytesMoved() int64 { return n.bytesMoved }
+
+// Send performs a blocking message transfer executed by process p: it queues
+// for both endpoint NICs (in canonical order, avoiding deadlock between
+// crossing transfers), holds them for startup + size/bandwidth(t) integrated
+// over the link's trace, releases them and delivers the message to the
+// destination port. Local messages (src == dst) are delivered immediately:
+// co-locating an operator with its consumer eliminates the network cost,
+// which is exactly the effect placement exploits.
+func (n *Network) Send(p *sim.Proc, msg *Message) {
+	msg.SentAt = n.k.Now()
+	prio := msg.Prio
+	if n.flatPrio {
+		prio = sim.PriorityData
+	}
+	if msg.Src == msg.Dst {
+		for _, o := range n.observers {
+			o.BeforeSend(msg)
+		}
+		msg.DeliveredAt = n.k.Now()
+		for _, o := range n.observers {
+			o.AfterDeliver(msg, 0)
+		}
+		n.deliver(msg, prio)
+		return
+	}
+	tr := n.Link(msg.Src, msg.Dst)
+	if tr == nil {
+		panic(fmt.Sprintf("netmodel: send over missing link %d->%d", msg.Src, msg.Dst))
+	}
+	src, dst := n.hosts[msg.Src], n.hosts[msg.Dst]
+
+	// Acquire both NICs in host-ID order: a transfer is a rendezvous of the
+	// two endpoints ("a single network interface — they can send or receive
+	// at most one message at a time"). Canonical ordering prevents deadlock
+	// between crossing transfers; priority lets barrier messages overtake
+	// queued bulk data at each NIC.
+	first, second := src, dst
+	if first.id > second.id {
+		first, second = second, first
+	}
+	if msg.Prio >= sim.PriorityBarrier && (src.nic.InUse() > 0 || dst.nic.InUse() > 0) {
+		n.barrierOvertax++
+	}
+	first.nic.Acquire(p, prio)
+	second.nic.Acquire(p, prio)
+
+	for _, o := range n.observers {
+		o.BeforeSend(msg)
+	}
+	dur := n.startup + tr.TransferDuration(n.k.Now().Add(n.startup), msg.Size)
+	p.Hold(dur)
+
+	second.nic.Release()
+	first.nic.Release()
+
+	msg.DeliveredAt = n.k.Now()
+	n.transfers++
+	n.bytesMoved += msg.Size
+	if msg.Prio > sim.PriorityData {
+		n.controlSends++
+	}
+	for _, o := range n.observers {
+		o.AfterDeliver(msg, dur)
+	}
+	n.deliver(msg, prio)
+}
+
+func (n *Network) deliver(msg *Message, prio sim.Priority) {
+	n.hosts[msg.Dst].Port(msg.Port).Send(msg, prio)
+}
+
+// MeasuredBandwidth converts an observed link duration for a message of the
+// given size into an application-level bandwidth estimate, excluding the
+// known start-up cost (the paper's traces were likewise computed from timed
+// 16 KB round trips).
+func (n *Network) MeasuredBandwidth(size int64, linkDuration time.Duration) trace.Bandwidth {
+	payload := linkDuration - n.startup
+	if payload <= 0 {
+		return 0
+	}
+	return trace.Bandwidth(float64(size) / payload.Seconds())
+}

@@ -1,0 +1,65 @@
+package placement
+
+import (
+	"time"
+
+	"wadc/internal/dataflow"
+	"wadc/internal/plan"
+	"wadc/internal/sim"
+)
+
+// Global is the on-line centralised policy (§2.2): the client periodically
+// re-runs the one-shot optimiser seeded with the *current* placement, using
+// monitored (global) bandwidth knowledge, and coordinates each change-over
+// with the engine's iteration-numbered barrier. The placer runs as its own
+// simulated process, concurrently with the computation (the concurrency
+// requirement); its monitoring probes cost the placer time but do not stall
+// the pipeline.
+type Global struct {
+	// Period between placement recomputations (DefaultPeriod if zero).
+	Period time.Duration
+
+	// stats
+	proposals int
+}
+
+// Name implements Policy.
+func (g *Global) Name() string { return "global" }
+
+// Proposals returns how many change-overs the policy proposed.
+func (g *Global) Proposals() int { return g.proposals }
+
+// InitialPlacement implements Policy: identical to the one-shot algorithm
+// (the global algorithm's only modification is at runtime).
+func (g *Global) InitialPlacement(p *sim.Proc, x *Instance) *plan.Placement {
+	bw := x.SnapshotBW(p, x.ClientHost)
+	return OneShotOptimize(x.DownloadAllPlacement(), x.Hosts, x.Model, bw)
+}
+
+// Attach implements Policy: spawn the periodic placer process at the client.
+func (g *Global) Attach(x *Instance, e *dataflow.Engine) {
+	period := g.Period
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	e.Kernel().Spawn("global-placer", func(p *sim.Proc) {
+		for {
+			p.Hold(period)
+			if e.Completed() {
+				return
+			}
+			if e.SwitchInProgress() {
+				continue // previous change-over still draining
+			}
+			cur := e.CurrentPlacement()
+			bw := x.SnapshotBW(p, x.ClientHost)
+			next := OneShotOptimize(cur, x.Hosts, x.Model, bw)
+			if e.Completed() {
+				return // probes may have outlived the run
+			}
+			if !next.Equal(cur) && e.ProposeSwitch(next) {
+				g.proposals++
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package placement
+
+import (
+	"wadc/internal/dataflow"
+	"wadc/internal/netmodel"
+	"wadc/internal/plan"
+	"wadc/internal/sim"
+)
+
+// improvementEps guards against floating-point oscillation: a move must
+// improve the critical path by more than this (seconds) to be taken.
+const improvementEps = 1e-9
+
+// maxOneShotRounds bounds the optimiser; with strict improvement it
+// terminates naturally, this is a safety net only.
+const maxOneShotRounds = 10000
+
+// OneShotOptimize is the paper's §2.1 iterative step, usable from any
+// starting placement (the global algorithm seeds it with the current
+// placement instead of download-all):
+//
+//	repeat
+//	  compute the critical path K of the current placement
+//	  for each operator on K, consider all alternative locations;
+//	  remember the cheapest resulting placement
+//	until it is no cheaper than the current one
+//
+// The returned placement is a new value; the input is not modified.
+func OneShotOptimize(initial *plan.Placement, hosts []netmodel.HostID, model plan.CostModel, bw plan.BandwidthFn) *plan.Placement {
+	cur := initial.Clone()
+	curCost := model.Evaluate(cur, bw).Cost
+	for round := 0; round < maxOneShotRounds; round++ {
+		eval := model.Evaluate(cur, bw)
+		bestCost := curCost
+		var best *plan.Placement
+		for _, op := range eval.CriticalOperators(cur.Tree()) {
+			for _, h := range hosts {
+				if h == cur.Loc(op) {
+					continue
+				}
+				cand := cur.Clone()
+				cand.SetLoc(op, h)
+				c := model.Evaluate(cand, bw).Cost
+				if c < bestCost-improvementEps {
+					bestCost = c
+					best = cand
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		cur = best
+		curCost = bestCost
+	}
+	return cur
+}
+
+// DownloadAll is the baseline policy: all operators at the client, never
+// relocated.
+type DownloadAll struct{}
+
+// Name implements Policy.
+func (DownloadAll) Name() string { return "download-all" }
+
+// InitialPlacement implements Policy.
+func (DownloadAll) InitialPlacement(_ *sim.Proc, x *Instance) *plan.Placement {
+	return x.DownloadAllPlacement()
+}
+
+// Attach implements Policy: the baseline has no runtime behaviour.
+func (DownloadAll) Attach(*Instance, *dataflow.Engine) {}
+
+// OneShot is the start-up-only policy (§2.1): optimise once from the
+// download-all placement using the information available at the beginning of
+// the computation, then never adapt.
+type OneShot struct{}
+
+// Name implements Policy.
+func (OneShot) Name() string { return "one-shot" }
+
+// InitialPlacement implements Policy: probes for unknown links are charged
+// to p, so the optimisation delays the start of the computation — exactly
+// the cost profile of a start-up-time planner.
+func (OneShot) InitialPlacement(p *sim.Proc, x *Instance) *plan.Placement {
+	bw := x.SnapshotBW(p, x.ClientHost)
+	return OneShotOptimize(x.DownloadAllPlacement(), x.Hosts, x.Model, bw)
+}
+
+// Attach implements Policy: one-shot has no runtime behaviour.
+func (OneShot) Attach(*Instance, *dataflow.Engine) {}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// rather than by draining its event queue.
+var ErrStopped = errors.New("sim: stopped")
+
+// errKilled is the sentinel panicked into process goroutines to unwind them
+// when the kernel shuts down. It never escapes the package.
+var errKilled = errors.New("sim: process killed")
+
+// Tracer receives a line for every significant kernel action when tracing is
+// enabled. It exists for debugging and for determinism tests (identical seeds
+// must produce identical traces).
+type Tracer func(at Time, format string, args ...any)
+
+// Option configures a Kernel.
+type Option func(*Kernel)
+
+// WithSeed sets the seed for the kernel's random number generator. The
+// default seed is 1.
+func WithSeed(seed int64) Option {
+	return func(k *Kernel) { k.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithTracer installs a tracer invoked on every process wake, hold, send and
+// receive. Tracing is off by default.
+func WithTracer(t Tracer) Option {
+	return func(k *Kernel) { k.tracer = t }
+}
+
+// Kernel is a deterministic discrete-event scheduler. It owns simulated time,
+// the pending-event queue, and all process goroutines. A Kernel must be used
+// from a single goroutine (the one calling Run); process goroutines are
+// managed internally and never run concurrently with one another.
+//
+// The zero value is not usable; construct with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventQueue
+	procs  []*Proc
+	rng    *rand.Rand
+	tracer Tracer
+
+	// yield is the control-transfer channel: whichever process goroutine is
+	// running hands control back to the scheduler by sending on it.
+	yield chan struct{}
+
+	running  bool
+	stopped  bool
+	procErr  error // first process failure, reported by Run
+	liveProc int   // number of spawned, not-yet-finished processes
+}
+
+// NewKernel constructs a kernel with the given options.
+func NewKernel(opts ...Option) *Kernel {
+	k := &Kernel{
+		rng:   rand.New(rand.NewSource(1)),
+		yield: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(k)
+	}
+	return k
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. All model-level
+// randomness must come from here (or from generators seeded from here) so
+// that simulations replay identically.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// trace emits a trace line if tracing is enabled.
+func (k *Kernel) trace(format string, args ...any) {
+	if k.tracer != nil {
+		k.tracer(k.now, format, args...)
+	}
+}
+
+// schedule inserts an event at absolute time at. Panics if at is in the past:
+// simulations cannot rewrite history.
+func (k *Kernel) schedule(at Time, fn func(), p *Proc) *event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
+	}
+	ev := &event{at: at, seq: k.seq, fn: fn, proc: p}
+	k.seq++
+	k.events.push(ev)
+	return ev
+}
+
+// After schedules fn to run after delay d. The returned Timer can cancel it.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return &Timer{k: k, ev: k.schedule(k.now.Add(d), fn, nil)}
+}
+
+// At schedules fn at absolute simulated time t (clamped to now if earlier).
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		t = k.now
+	}
+	return &Timer{k: k, ev: k.schedule(t, fn, nil)}
+}
+
+// Every schedules fn every period, starting one period from now, until the
+// returned Timer is stopped or the simulation ends. Periodic work such as the
+// global placement algorithm's relocation timer uses this.
+func (k *Kernel) Every(period time.Duration, fn func()) *Timer {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	t := &Timer{k: k, periodic: true}
+	var tick func()
+	tick = func() {
+		fn()
+		if !k.stopped && !t.stopped {
+			t.ev = k.schedule(k.now.Add(period), tick, nil)
+		}
+	}
+	t.ev = k.schedule(k.now.Add(period), tick, nil)
+	return t
+}
+
+// Stop halts the simulation: Run returns ErrStopped after the current event
+// completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in time order until the queue drains, Stop is called,
+// or a process panics. It then unwinds every still-blocked process goroutine
+// so that no goroutines leak. Run returns the first process error, ErrStopped
+// if stopped, or nil on a clean drain.
+func (k *Kernel) Run() error { return k.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil is Run bounded by an end time: events strictly after end are left
+// unexecuted and simulated time is advanced to end (unless the queue drained
+// earlier). Like Run, it is terminal for process goroutines: any process
+// still blocked when the bound is reached is unwound so no goroutines leak;
+// only pure callback events survive into a later Run/RunUntil call.
+func (k *Kernel) RunUntil(end Time) error {
+	if k.running {
+		panic("sim: Run called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	for !k.stopped && k.procErr == nil && k.events.Len() > 0 {
+		ev := k.events.pop()
+		if ev.cancelled {
+			continue
+		}
+		if ev.at > end {
+			k.now = end
+			// Put it back for a potential later RunUntil with a larger bound.
+			k.events.push(ev)
+			break
+		}
+		k.now = ev.at
+		switch {
+		case ev.proc != nil:
+			k.resume(ev.proc, signalWake)
+		case ev.fn != nil:
+			ev.fn()
+		}
+	}
+	k.killAll()
+	switch {
+	case k.procErr != nil:
+		return k.procErr
+	case k.stopped:
+		return ErrStopped
+	default:
+		return nil
+	}
+}
+
+// resume transfers control to p and blocks until p yields it back.
+func (k *Kernel) resume(p *Proc, sig signal) {
+	if p.finished {
+		return
+	}
+	p.resume <- sig
+	<-k.yield
+}
+
+// killAll unwinds every live process goroutine by resuming it with a kill
+// signal, which panics errKilled inside the blocking primitive; the process
+// wrapper recovers it and hands control back. This guarantees Run leaves no
+// goroutines behind, per the "never start a goroutine you cannot stop" rule.
+func (k *Kernel) killAll() {
+	for _, p := range k.procs {
+		if !p.finished && p.started {
+			k.resume(p, signalKill)
+		}
+	}
+	k.procs = k.procs[:0]
+	k.liveProc = 0
+}
+
+// failProc records a process failure; the first failure aborts Run.
+func (k *Kernel) failProc(p *Proc, r any) {
+	if k.procErr == nil {
+		k.procErr = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import "time"
+
+// signal is what a blocked process receives when the scheduler resumes it.
+type signal int
+
+const (
+	signalWake signal = iota // the awaited condition holds, continue
+	signalKill               // the simulation is over, unwind
+)
+
+// Proc is a simulated process: a goroutine whose execution is interleaved,
+// one at a time, by the kernel. Inside a process function, the blocking
+// primitives (Hold, Mailbox.Recv, Resource.Acquire, Condition.Wait) advance
+// simulated time; all other code runs instantaneously in simulation terms.
+type Proc struct {
+	k        *Kernel
+	name     string
+	resume   chan signal
+	started  bool
+	finished bool
+}
+
+// Spawn creates a process running fn and schedules it to start at the current
+// simulated time. The name appears in traces and error messages.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan signal), started: true}
+	k.procs = append(k.procs, p)
+	k.liveProc++
+	go func() {
+		sig := <-p.resume
+		if sig != signalKill {
+			func() {
+				defer func() {
+					if r := recover(); r != nil && r != errKilled { //nolint:errorlint // sentinel identity
+						k.failProc(p, r)
+					}
+				}()
+				fn(p)
+			}()
+		}
+		p.finished = true
+		k.liveProc--
+		k.yield <- struct{}{}
+	}()
+	k.schedule(k.now, nil, p)
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time (convenience for p.Kernel().Now()).
+func (p *Proc) Now() Time { return p.k.now }
+
+// block yields control to the scheduler and waits to be resumed. A kill
+// signal unwinds the process via a sentinel panic recovered in Spawn.
+func (p *Proc) block() {
+	p.k.yield <- struct{}{}
+	if sig := <-p.resume; sig == signalKill {
+		panic(errKilled)
+	}
+}
+
+// Hold suspends the process for simulated duration d.
+func (p *Proc) Hold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.trace("%s hold %v", p.name, d)
+	p.k.schedule(p.k.now.Add(d), nil, p)
+	p.block()
+}
+
+// HoldUntil suspends the process until absolute simulated time t (no-op if t
+// is not in the future).
+func (p *Proc) HoldUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	p.k.schedule(t, nil, p)
+	p.block()
+}
+
+// Condition is a waitable, broadcast-style flag keyed to arbitrary predicates:
+// processes wait on it and every Signal wakes all current waiters, who then
+// re-check whatever condition they care about. It is the building block for
+// barriers and for the dataflow engine's "wait until state changes" loops.
+type Condition struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewCondition creates a condition variable on kernel k.
+func NewCondition(k *Kernel) *Condition { return &Condition{k: k} }
+
+// Wait blocks the calling process until the next Signal.
+func (c *Condition) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.block()
+}
+
+// WaitFor blocks the calling process until pred() is true, re-checking after
+// every Signal. If pred is already true it returns immediately.
+func (c *Condition) WaitFor(p *Proc, pred func() bool) {
+	for !pred() {
+		c.Wait(p)
+	}
+}
+
+// Signal wakes every process currently waiting on the condition. The wakes
+// are scheduled as zero-delay events, preserving deterministic ordering.
+func (c *Condition) Signal() {
+	waiters := c.waiters
+	c.waiters = nil
+	for _, p := range waiters {
+		c.k.schedule(c.k.now, nil, p)
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: popping the event queue yields events sorted by (time, seq).
+func TestEventQueueOrderingProperty(t *testing.T) {
+	prop := func(times []int16) bool {
+		var q eventQueue
+		for i, tv := range times {
+			at := Time(tv)
+			if at < 0 {
+				at = -at
+			}
+			q.push(&event{at: at, seq: uint64(i)})
+		}
+		var prevAt Time = -1
+		var prevSeq uint64
+		for q.Len() > 0 {
+			ev := q.pop()
+			if ev.at < prevAt || (ev.at == prevAt && ev.seq <= prevSeq && prevAt >= 0) {
+				return false
+			}
+			if ev.at > prevAt {
+				prevAt, prevSeq = ev.at, ev.seq
+			} else {
+				prevSeq = ev.seq
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the priority queue delivers by descending priority, FIFO within
+// equal priorities.
+func TestPrioQueueOrderingProperty(t *testing.T) {
+	prop := func(prios []uint8) bool {
+		var q prioQueue
+		for i, pv := range prios {
+			heap.Push(&q, &item{value: i, prio: Priority(pv % 3), seq: uint64(i)})
+		}
+		var got []*item
+		for q.Len() > 0 {
+			got = append(got, heap.Pop(&q).(*item))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].prio > got[i-1].prio {
+				return false
+			}
+			if got[i].prio == got[i-1].prio && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return len(got) == len(prios)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: removing a random subset of events via Timer.Stop leaves the
+// remaining events still delivered in order, none of the cancelled ones fire.
+func TestTimerStopProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		count := int(n%20) + 1
+		fired := make([]bool, count)
+		timers := make([]*Timer, count)
+		delays := make([]int, count)
+		for i := 0; i < count; i++ {
+			i := i
+			delays[i] = rng.Intn(1000) + 1
+			timers[i] = k.At(Time(delays[i])*Millisecond, func() { fired[i] = true })
+		}
+		cancelled := make([]bool, count)
+		for i := 0; i < count; i++ {
+			if rng.Intn(2) == 0 {
+				cancelled[i] = timers[i].Stop()
+				if !cancelled[i] {
+					return false // Stop of a pending timer must succeed
+				}
+			}
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for i := 0; i < count; i++ {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a capacity-1 resource and random service times, total busy
+// time equals the sum of service times (work conservation), and the final
+// completion time equals that sum as well when all arrive at t=0.
+func TestResourceWorkConservationProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		r := NewResource(k, "res", 1)
+		count := int(n%10) + 1
+		var total Time
+		for i := 0; i < count; i++ {
+			d := Time(rng.Intn(5000)+1) * Millisecond
+			total += d
+			k.Spawn("u", func(p *Proc) { r.Use(p, PriorityData, d.Duration()) })
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return k.Now() == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: messages sent with random priorities are received in a valid
+// order: a stable sort by descending priority of the send order.
+func TestMailboxOrderProperty(t *testing.T) {
+	prop := func(prios []uint8) bool {
+		k := NewKernel()
+		m := NewMailbox(k, "mb")
+		type msg struct {
+			idx  int
+			prio Priority
+		}
+		var want []msg
+		for i, pv := range prios {
+			p := Priority(pv % 3)
+			m.Send(msg{i, p}, p)
+			want = append(want, msg{i, p})
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].prio > want[b].prio })
+		ok := true
+		k.Spawn("recv", func(p *Proc) {
+			for i := range want {
+				got := m.Recv(p).(msg)
+				if got != want[i] {
+					ok = false
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

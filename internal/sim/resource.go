@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Resource is a counted facility (CSIM "facility"): at most capacity holders
+// at a time, with a priority wait queue (FIFO within priority). Hosts' NICs,
+// CPUs and disks are Resources with capacity 1.
+type Resource struct {
+	k        *Kernel
+	name     string
+	capacity int
+	inUse    int
+	queue    prioQueue
+	seq      uint64
+
+	// Utilisation accounting.
+	busyTime   time.Duration // cumulative (holders × time)
+	lastChange Time
+	acquires   int64
+}
+
+// NewResource creates a resource with the given capacity (must be >= 1).
+func NewResource(k *Kernel, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d < 1", name, capacity))
+	}
+	return &Resource{k: k, name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// InUse returns the current number of holders.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return r.queue.Len() }
+
+// Acquires returns the total number of successful acquisitions.
+func (r *Resource) Acquires() int64 { return r.acquires }
+
+// Utilization returns the mean fraction of capacity in use since the start
+// of the simulation (0 if no time has passed).
+func (r *Resource) Utilization() float64 {
+	r.account()
+	elapsed := r.k.now.Seconds() * float64(r.capacity)
+	if elapsed == 0 {
+		return 0
+	}
+	return r.busyTime.Seconds() / elapsed
+}
+
+func (r *Resource) account() {
+	r.busyTime += time.Duration(int64(r.k.now-r.lastChange) * int64(r.inUse))
+	r.lastChange = r.k.now
+}
+
+// Acquire blocks p until a unit of the resource is available, honouring
+// priority order among waiters. Callers must pair it with Release.
+func (r *Resource) Acquire(p *Proc, prio Priority) {
+	if r.inUse < r.capacity && r.queue.Len() == 0 {
+		r.grant()
+		return
+	}
+	heap.Push(&r.queue, &item{value: p, prio: prio, seq: r.seq})
+	r.seq++
+	r.k.trace("resource %s wait %s prio=%v", r.name, p.name, prio)
+	p.block()
+	// Our waker granted the unit on our behalf before scheduling the wake.
+}
+
+// TryAcquire acquires a unit without blocking; it reports success. Waiting
+// processes are not bypassed: TryAcquire fails while anyone queues.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity && r.queue.Len() == 0 {
+		r.grant()
+		return true
+	}
+	return false
+}
+
+func (r *Resource) grant() {
+	r.account()
+	r.inUse++
+	r.acquires++
+}
+
+// Release returns one unit and hands it to the highest-priority waiter, if
+// any. Safe to call from scheduler callbacks as well as processes.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
+	}
+	r.account()
+	r.inUse--
+	if r.queue.Len() > 0 && r.inUse < r.capacity {
+		next := heap.Pop(&r.queue).(*item).value.(*Proc)
+		r.grant()
+		r.k.trace("resource %s grant %s", r.name, next.name)
+		r.k.schedule(r.k.now, nil, next)
+	}
+}
+
+// Use acquires the resource, holds it for simulated duration d, and releases
+// it — the common "occupy a facility for a service time" pattern.
+func (r *Resource) Use(p *Proc, prio Priority, d time.Duration) {
+	r.Acquire(p, prio)
+	defer r.Release()
+	p.Hold(d)
+}

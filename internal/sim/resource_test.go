@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestResourceSerializes(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "nic", 1)
+	var done []Time
+	for i := 0; i < 3; i++ {
+		k.Spawn(fmt.Sprintf("u%d", i), func(p *Proc) {
+			r.Use(p, PriorityData, 10*time.Second)
+			done = append(done, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []Time{10 * Second, 20 * Second, 30 * Second}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Errorf("done[%d] = %v, want %v", i, done[i], want[i])
+		}
+	}
+	if r.Acquires() != 3 {
+		t.Errorf("Acquires = %d", r.Acquires())
+	}
+}
+
+func TestResourcePriorityGrantOrder(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "nic", 1)
+	var order []string
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, PriorityData)
+		p.Hold(10 * time.Second)
+		r.Release()
+	})
+	spawnAt := func(name string, prio Priority, delay time.Duration) {
+		k.Spawn(name, func(p *Proc) {
+			p.Hold(delay)
+			r.Acquire(p, prio)
+			order = append(order, name)
+			r.Release()
+		})
+	}
+	spawnAt("low1", PriorityData, time.Second)
+	spawnAt("low2", PriorityData, 2*time.Second)
+	spawnAt("barrier", PriorityBarrier, 3*time.Second)
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := "[barrier low1 low2]"
+	if fmt.Sprint(order) != want {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestResourceCapacityN(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu", 2)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		k.Spawn(fmt.Sprintf("u%d", i), func(p *Proc) {
+			r.Use(p, PriorityData, 10*time.Second)
+			done = append(done, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Two run 0-10s, two run 10-20s.
+	want := []Time{10 * Second, 10 * Second, 20 * Second, 20 * Second}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Errorf("done[%d] = %v, want %v", i, done[i], want[i])
+		}
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "nic", 1)
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire on idle resource failed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("TryAcquire on busy resource succeeded")
+	}
+	if r.InUse() != 1 {
+		t.Errorf("InUse = %d", r.InUse())
+	}
+	r.Release()
+	if r.InUse() != 0 {
+		t.Errorf("InUse after release = %d", r.InUse())
+	}
+}
+
+func TestResourceTryAcquireDoesNotBypassWaiters(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "nic", 1)
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, PriorityData)
+		p.Hold(5 * time.Second)
+		r.Release()
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		p.Hold(time.Second)
+		r.Acquire(p, PriorityData)
+		p.Hold(5 * time.Second)
+		r.Release()
+	})
+	var bypassed bool
+	k.After(6*time.Second, func() {
+		// At t=6 the holder has released and the waiter holds the unit.
+		// But even at a moment when the unit has been released and handed
+		// to a waiter, TryAcquire must fail rather than steal it.
+		bypassed = r.TryAcquire()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if bypassed {
+		t.Error("TryAcquire stole the resource from a queued waiter")
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "disk", 1)
+	k.Spawn("u", func(p *Proc) {
+		r.Use(p, PriorityData, 30*time.Second)
+		p.Hold(70 * time.Second) // idle tail
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := r.Utilization(); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("Utilization = %v, want 0.3", got)
+	}
+	if r.QueueLen() != 0 {
+		t.Errorf("QueueLen = %d", r.QueueLen())
+	}
+	if r.Name() != "disk" {
+		t.Errorf("Name = %q", r.Name())
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "nic", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Release of idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 did not panic")
+		}
+	}()
+	NewResource(NewKernel(), "bad", 0)
+}
+
+func TestResourceUtilizationZeroTime(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "nic", 1)
+	if got := r.Utilization(); got != 0 {
+		t.Errorf("Utilization at t=0 = %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wadc/internal/sim"
+)
+
+// Blackout describes a period during which a link's bandwidth collapses to
+// the floor (1 byte/s) — an outage or severe congestion event. Blackouts are
+// the adversarial end of the paper's premise: persistent bandwidth change
+// that only relocation (not reordering) can route around.
+type Blackout struct {
+	Start sim.Time
+	End   sim.Time
+	// Floor is the bandwidth during the window; 0 means the absolute floor
+	// (1 byte/s, a total outage). A few KB/s models a severe brownout, the
+	// recoverable case: in a demand-driven pipeline with no transfer
+	// retries, an in-flight message on a totally dead link stalls its
+	// branch until delivery, which no placement algorithm can undo.
+	Floor Bandwidth
+}
+
+// WithBlackouts returns a copy of the trace whose samples inside any of the
+// given windows are floored. Because a trace's last value holds forever, the
+// sample array is materialised out to the end of the latest window so that a
+// blackout beyond the explicit samples (e.g. on a single-sample Constant
+// trace) takes effect — and normal bandwidth resumes after it.
+func (tr *Trace) WithBlackouts(blackouts ...Blackout) *Trace {
+	s := tr.Samples()
+	for _, b := range blackouts {
+		if b.End < b.Start {
+			panic(fmt.Sprintf("trace: blackout ends (%v) before it starts (%v)", b.End, b.Start))
+		}
+		floor := b.Floor
+		if floor < minBandwidth {
+			floor = minBandwidth
+		}
+		from := int(b.Start / tr.interval)
+		to := int(b.End / tr.interval)
+		if from < 0 {
+			from = 0
+		}
+		for len(s) <= to+1 {
+			s = append(s, s[len(s)-1])
+		}
+		for i := from; i <= to; i++ {
+			s[i] = floor
+		}
+	}
+	return New(tr.name+"+blackout", tr.interval, s)
+}
+
+// RandomBlackouts derives n non-deterministic-looking but seeded blackout
+// windows of the given duration within [0, horizon).
+func RandomBlackouts(seed int64, n int, duration, horizon sim.Time) []Blackout {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Blackout, 0, n)
+	if horizon <= duration {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		start := sim.Time(rng.Int63n(int64(horizon - duration)))
+		out = append(out, Blackout{Start: start, End: start + duration})
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"testing"
+
+	"wadc/internal/sim"
+)
+
+func TestWithBlackouts(t *testing.T) {
+	tr := New("x", 10*sim.Second, []Bandwidth{100, 200, 300, 400})
+	b := tr.WithBlackouts(Blackout{Start: 10 * sim.Second, End: 25 * sim.Second})
+	wants := []Bandwidth{100, minBandwidth, minBandwidth, 400}
+	for i, want := range wants {
+		if got := b.Samples()[i]; got != want {
+			t.Errorf("sample %d = %v, want %v", i, got, want)
+		}
+	}
+	// Original unchanged.
+	if tr.At(15*sim.Second) != 200 {
+		t.Error("WithBlackouts mutated receiver")
+	}
+	// A window past the explicit samples materialises the tail (last value
+	// holds) so the blackout takes effect and then lifts.
+	c := tr.WithBlackouts(Blackout{Start: -5 * sim.Second, End: 5 * sim.Second},
+		Blackout{Start: 100 * sim.Second, End: 200 * sim.Second})
+	if c.Samples()[0] != minBandwidth || c.Samples()[3] != 400 {
+		t.Errorf("near-window handling wrong: %v", c.Samples())
+	}
+	if c.At(150*sim.Second) != minBandwidth {
+		t.Errorf("blackout past trace end ignored: %v", c.At(150*sim.Second))
+	}
+	if c.At(250*sim.Second) != 400 {
+		t.Errorf("bandwidth did not recover after blackout: %v", c.At(250*sim.Second))
+	}
+	// Single-sample (Constant) traces work too.
+	k := Constant("k", 1000).WithBlackouts(Blackout{Start: 10 * sim.Second, End: 20 * sim.Second})
+	if k.At(15*sim.Second) != minBandwidth || k.At(25*sim.Second) != 1000 {
+		t.Errorf("constant-trace blackout wrong: %v / %v", k.At(15*sim.Second), k.At(25*sim.Second))
+	}
+}
+
+func TestWithBlackoutsValidation(t *testing.T) {
+	tr := Constant("c", 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted window did not panic")
+		}
+	}()
+	tr.WithBlackouts(Blackout{Start: 10 * sim.Second, End: 5 * sim.Second})
+}
+
+func TestRandomBlackouts(t *testing.T) {
+	bs := RandomBlackouts(1, 5, sim.Minute, sim.Hour)
+	if len(bs) != 5 {
+		t.Fatalf("count = %d", len(bs))
+	}
+	for _, b := range bs {
+		if b.Start < 0 || b.End > sim.Hour || b.End-b.Start != sim.Minute {
+			t.Errorf("bad window %+v", b)
+		}
+	}
+	again := RandomBlackouts(1, 5, sim.Minute, sim.Hour)
+	for i := range bs {
+		if bs[i] != again[i] {
+			t.Error("nondeterministic")
+		}
+	}
+	if got := RandomBlackouts(1, 3, sim.Hour, sim.Minute); len(got) != 0 {
+		t.Errorf("degenerate horizon produced %d windows", len(got))
+	}
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wadc/internal/sim"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate("a", 7, DefaultGenParams(KBps(50)))
+	b := Generate("a", 7, DefaultGenParams(KBps(50)))
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i, v := range a.Samples() {
+		if b.Samples()[i] != v {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	c := Generate("a", 8, DefaultGenParams(KBps(50)))
+	same := true
+	for i, v := range a.Samples() {
+		if c.Samples()[i] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateCalibration(t *testing.T) {
+	// The paper: "the expected time between significant changes in the
+	// bandwidth (>= 10%) was about 2 minutes". Check the generator lands in
+	// a broad band around that (1-4 minutes) averaged over several traces.
+	var total time.Duration
+	const n = 8
+	for seed := int64(0); seed < n; seed++ {
+		tr := Generate("cal", seed, DefaultGenParams(KBps(60)))
+		st := Analyze(tr, 0.10)
+		total += st.SignificantChangeInterval
+	}
+	mean := total / n
+	if mean < time.Minute || mean > 4*time.Minute {
+		t.Errorf("mean significant-change interval = %v, want ~2min (1-4min band)", mean)
+	}
+}
+
+func TestGenerateDiurnalCycle(t *testing.T) {
+	p := DefaultGenParams(KBps(100))
+	p.NoiseSigma = 0
+	p.SwitchProb = 0
+	p.DiurnalAmplitude = 0.5
+	tr := Generate("diurnal", 1, p)
+	night := tr.At(4 * sim.Hour)  // peak
+	noonT := tr.At(16 * sim.Hour) // trough
+	if float64(night) <= float64(noonT)*1.5 {
+		t.Errorf("diurnal cycle missing: 4am=%v 4pm=%v", night, noonT)
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	p := DefaultGenParams(KBps(40))
+	tr := Generate("b", 3, p)
+	if tr.Duration() != 48*sim.Hour {
+		t.Errorf("duration = %v", tr.Duration())
+	}
+	st := Analyze(tr, 0.10)
+	if st.Min < minBandwidth {
+		t.Errorf("min = %v below floor", st.Min)
+	}
+	// Mean should be within a factor ~2 of base (congestion drags it down).
+	if st.Mean < KBps(10) || st.Mean > KBps(80) {
+		t.Errorf("mean = %v, implausible for base 40KB/s", st.Mean)
+	}
+}
+
+func TestGenerateDegenerateParams(t *testing.T) {
+	p := GenParams{Base: KBps(10), Interval: sim.Second}
+	tr := Generate("deg", 1, p) // zero duration clamps to one sample
+	if tr.Len() != 1 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero interval did not panic")
+		}
+	}()
+	Generate("bad", 1, GenParams{Base: KBps(10)})
+}
+
+func TestStepStateStaysInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	state := 0
+	for i := 0; i < 10000; i++ {
+		state = stepState(rng, state, 4)
+		if state < 0 || state > 3 {
+			t.Fatalf("state out of range: %d", state)
+		}
+	}
+	if got := stepState(rng, 0, 1); got != 0 {
+		t.Errorf("single state moved: %d", got)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if USEast.String() != "us-east" || Brazil.String() != "brazil" {
+		t.Error("region names wrong")
+	}
+	if Region(99).String() != "unknown" {
+		t.Error("out-of-range region name")
+	}
+}
+
+func TestStudyPool(t *testing.T) {
+	p := NewStudyPool(11)
+	// 12 hosts -> 66 pairs.
+	if p.Size() != 66 {
+		t.Fatalf("pool size = %d, want 66", p.Size())
+	}
+	rng := rand.New(rand.NewSource(2))
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[p.Pick(rng).Name()] = true
+	}
+	if len(seen) < 30 {
+		t.Errorf("Pick diversity too low: %d distinct", len(seen))
+	}
+	if p.Trace(0) == nil {
+		t.Error("Trace(0) nil")
+	}
+	ts := p.Traces()
+	ts[0] = nil
+	if p.Trace(0) == nil {
+		t.Error("Traces() aliases internal slice")
+	}
+}
+
+func TestPoolClassesDistinct(t *testing.T) {
+	// Brazil links must be much slower than same-region US links on average.
+	slow := Analyze(Generate("slow", 1, DefaultGenParams(pairBase(Brazil, USEast))), 0.1)
+	fast := Analyze(Generate("fast", 1, DefaultGenParams(pairBase(USEast, USEast))), 0.1)
+	if float64(fast.Mean) < 5*float64(slow.Mean) {
+		t.Errorf("class separation weak: fast=%v slow=%v", fast.Mean, slow.Mean)
+	}
+}
+
+func TestPairBaseSymmetry(t *testing.T) {
+	for a := Region(0); a < numRegions; a++ {
+		for b := Region(0); b < numRegions; b++ {
+			if pairBase(a, b) != pairBase(b, a) {
+				t.Errorf("pairBase asymmetric for %v,%v", a, b)
+			}
+		}
+	}
+}
+
+// Property: TransferDuration is monotone in bytes and BytesIn is monotone in
+// duration, for arbitrary generated traces.
+func TestTransferMonotoneProperty(t *testing.T) {
+	prop := func(seed int64, b1, b2 uint32, startSec uint16) bool {
+		tr := Generate("p", seed, GenParams{
+			Base:             KBps(float64(seed%100) + 5),
+			NoiseSigma:       0.3,
+			CongestionLevels: []float64{1, 0.5, 0.1},
+			SwitchProb:       0.3,
+			Interval:         5 * sim.Second,
+			Duration:         10 * sim.Minute,
+		})
+		lo, hi := int64(b1%1<<20), int64(b2%1<<20)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		start := sim.Time(startSec) * sim.Second
+		dLo := tr.TransferDuration(start, lo)
+		dHi := tr.TransferDuration(start, hi)
+		return dLo <= dHi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeSimple(t *testing.T) {
+	tr := New("x", sim.Second, []Bandwidth{100, 100, 200, 200})
+	st := Analyze(tr, 0.10)
+	if st.Mean != 150 || st.Min != 100 || st.Max != 200 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SignificantChanges != 1 {
+		t.Errorf("changes = %d, want 1", st.SignificantChanges)
+	}
+	if st.SignificantChangeInterval != 4*time.Second {
+		t.Errorf("interval = %v", st.SignificantChangeInterval)
+	}
+	if math.Abs(st.CoV-float64(st.StdDev)/150) > 1e-12 {
+		t.Errorf("CoV = %v", st.CoV)
+	}
+}
+
+func TestAnalyzeNoChanges(t *testing.T) {
+	tr := Constant("c", 100)
+	st := Analyze(tr, 0.10)
+	if st.SignificantChanges != 0 {
+		t.Errorf("changes = %d", st.SignificantChanges)
+	}
+	if st.SignificantChangeInterval != tr.Duration().Duration() {
+		t.Errorf("interval = %v", st.SignificantChangeInterval)
+	}
+}
+
+func TestVariationSeries(t *testing.T) {
+	tr := New("x", sim.Second, []Bandwidth{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	times, bws := VariationSeries(tr, 2*sim.Second, 4*sim.Second, 100)
+	if len(times) != 4 || len(bws) != 4 {
+		t.Fatalf("lens = %d, %d", len(times), len(bws))
+	}
+	if bws[0] != 3 || bws[3] != 6 {
+		t.Errorf("bws = %v", bws)
+	}
+	if times[0] != 0 {
+		t.Errorf("times not relative: %v", times)
+	}
+	// Decimation.
+	times, _ = VariationSeries(tr, 0, 10*sim.Second, 5)
+	if len(times) > 6 {
+		t.Errorf("decimation failed: %d points", len(times))
+	}
+	// Degenerate maxPoints.
+	times, _ = VariationSeries(tr, 0, sim.Second, 0)
+	if len(times) != 1 {
+		t.Errorf("degenerate = %d", len(times))
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"math"
+	"time"
+
+	"wadc/internal/sim"
+)
+
+// Stats summarises a bandwidth trace. The paper calibrated its monitoring
+// parameters from exactly these statistics: it reports that the expected time
+// between significant (>= 10 %) bandwidth changes in its Internet traces was
+// about two minutes, and chose T_thres = 40 s as "a little less than half"
+// that period.
+type Stats struct {
+	Mean   Bandwidth
+	Min    Bandwidth
+	Max    Bandwidth
+	StdDev Bandwidth
+	// CoV is the coefficient of variation (StdDev / Mean).
+	CoV float64
+	// SignificantChangeInterval is the mean time between consecutive samples
+	// that differ by at least the threshold fraction from the last
+	// "significant" level (the paper's >= 10 % change statistic).
+	SignificantChangeInterval time.Duration
+	// SignificantChanges is the number of such changes observed.
+	SignificantChanges int
+}
+
+// Analyze computes summary statistics with the given significant-change
+// threshold (the paper uses 0.10).
+func Analyze(tr *Trace, threshold float64) Stats {
+	s := Stats{Min: math.MaxFloat64}
+	var sum, sumSq float64
+	for _, v := range tr.samples {
+		f := float64(v)
+		sum += f
+		sumSq += f * f
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	n := float64(len(tr.samples))
+	mean := sum / n
+	s.Mean = Bandwidth(mean)
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.StdDev = Bandwidth(math.Sqrt(variance))
+	if mean > 0 {
+		s.CoV = float64(s.StdDev) / mean
+	}
+
+	// Count level shifts: a change is significant when the sample departs by
+	// >= threshold from the last significant level; that sample becomes the
+	// new reference level.
+	level := float64(tr.samples[0])
+	for _, v := range tr.samples[1:] {
+		f := float64(v)
+		if level > 0 && math.Abs(f-level)/level >= threshold {
+			s.SignificantChanges++
+			level = f
+		}
+	}
+	if s.SignificantChanges > 0 {
+		s.SignificantChangeInterval = tr.Duration().Duration() / time.Duration(s.SignificantChanges)
+	} else {
+		s.SignificantChangeInterval = tr.Duration().Duration()
+	}
+	return s
+}
+
+// VariationSeries returns (time, bandwidth) pairs covering window starting at
+// from, decimated to at most maxPoints points. It reproduces the two plots of
+// the paper's Figure 2 (first ten minutes, and the full two days).
+func VariationSeries(tr *Trace, from, window sim.Time, maxPoints int) (times []sim.Time, bws []Bandwidth) {
+	if maxPoints <= 0 {
+		maxPoints = 1
+	}
+	n := int(window / tr.interval)
+	if n < 1 {
+		n = 1
+	}
+	stride := 1
+	if n > maxPoints {
+		stride = n / maxPoints
+	}
+	for i := 0; i < n; i += stride {
+		t := from + sim.Time(i)*tr.interval
+		times = append(times, t-from)
+		bws = append(bws, tr.At(t))
+	}
+	return times, bws
+}
