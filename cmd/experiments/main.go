@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2, 6, 7, 8, 9, 10, discussion, ordering, ablations or all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2, 6, 7, 8, 9, 10, discussion, ordering, ablations, faults or all")
 		configs = flag.Int("configs", 300, "number of network configurations")
 		servers = flag.Int("servers", 8, "number of servers (figures 6, 7, 9, 10)")
 		iters   = flag.Int("iters", 180, "images per server")
@@ -103,8 +103,19 @@ func main() {
 		fmt.Println(r.Render())
 		ran++
 	}
+	if want("faults") {
+		// Each fault rate is a full four-algorithm sweep; cap the configs.
+		fo := opts
+		if fo.Configs > 40 {
+			fo.Configs = 40
+		}
+		r, err := experiment.FigureFaults(fo, nil)
+		exitOn(err)
+		fmt.Println(r.Render())
+		ran++
+	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 2, 6, 7, 8, 9, 10, discussion, ordering or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 2, 6, 7, 8, 9, 10, discussion, ordering, ablations, faults or all)\n", *fig)
 		os.Exit(2)
 	}
 	fmt.Printf("%s\n[%d figure(s) in %v]\n", strings.Repeat("-", 60), ran, time.Since(start).Round(time.Second))

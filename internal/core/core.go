@@ -11,8 +11,10 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 
 	"wadc/internal/dataflow"
+	"wadc/internal/faults"
 	"wadc/internal/monitor"
 	"wadc/internal/netmodel"
 	"wadc/internal/placement"
@@ -88,6 +90,15 @@ type RunConfig struct {
 	// FlatPriorities disables message-priority queueing in the network — the
 	// ablation of the paper's barrier-priority design point (§2.2).
 	FlatPriorities bool
+	// Faults configures deterministic fault injection (host crashes, message
+	// drop/duplication, link blackouts). The zero value disables it entirely
+	// and the run is byte-identical to one before fault injection existed.
+	// The client host is never crashed.
+	Faults faults.Config
+	// Tracer, when set, receives the kernel's event trace (used by
+	// determinism regression tests; identical seeds must produce identical
+	// traces).
+	Tracer sim.Tracer
 }
 
 // RunResult is the outcome of one run.
@@ -105,6 +116,12 @@ type RunResult struct {
 	// InitialPlacement and FinalPlacement bracket the run.
 	InitialPlacement *plan.Placement
 	FinalPlacement   *plan.Placement
+	// Fault-injection accounting (all zero when RunConfig.Faults is unset).
+	FaultPlan          *faults.Plan
+	CrashesFired       int
+	MessagesDropped    int64
+	MessagesDuplicated int64
+	TransfersCut       int64
 }
 
 // Run executes one complete simulation and returns its result.
@@ -119,7 +136,11 @@ func Run(cfg RunConfig) (RunResult, error) {
 		return RunResult{}, fmt.Errorf("core: Policy is required")
 	}
 
-	k := sim.NewKernel(sim.WithSeed(cfg.Seed))
+	kOpts := []sim.Option{sim.WithSeed(cfg.Seed)}
+	if cfg.Tracer != nil {
+		kOpts = append(kOpts, sim.WithTracer(cfg.Tracer))
+	}
+	k := sim.NewKernel(kOpts...)
 	var netOpts []netmodel.NetOption
 	if cfg.FlatPriorities {
 		netOpts = append(netOpts, netmodel.WithFlatPriorities())
@@ -139,6 +160,27 @@ func Run(cfg RunConfig) (RunResult, error) {
 		}
 	}
 	mon := monitor.NewSystem(net, cfg.Monitor)
+
+	// Fault injection: generate (or take) the plan, validate it against the
+	// topology — the client host is protected — and install the injector.
+	// Everything is seeded, so a faulty run replays bit-for-bit.
+	var inj *faults.Injector
+	var faultPlan *faults.Plan
+	if cfg.Faults.Enabled() {
+		fcfg := cfg.Faults
+		if fcfg.Seed == 0 {
+			fcfg.Seed = cfg.Seed*1000003 + 17
+		}
+		faultPlan = fcfg.Plan
+		if faultPlan == nil {
+			faultPlan = faults.Generate(fcfg, net.NumHosts(), client.ID())
+		}
+		if err := faultPlan.Validate(net.NumHosts(), client.ID()); err != nil {
+			return RunResult{}, fmt.Errorf("core: invalid fault plan: %w", err)
+		}
+		inj = faults.NewInjector(faultPlan, rand.New(rand.NewSource(fcfg.Seed+1)), fcfg.Retry)
+		net.SetFaults(inj)
+	}
 
 	var tree *plan.Tree
 	if cfg.Shape == GreedyBandwidthTree {
@@ -166,6 +208,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 			Images:         images,
 			Iterations:     cfg.Iterations,
 			TrackTransfers: cfg.TrackTransfers,
+			Faults:         inj,
 		})
 		cfg.Policy.Attach(inst, eng)
 		eng.Start()
@@ -186,6 +229,11 @@ func Run(cfg RunConfig) (RunResult, error) {
 		BytesMoved:          net.BytesMoved(),
 		InitialPlacement:    initialPl,
 		FinalPlacement:      eng.CurrentPlacement(),
+	}
+	if inj != nil {
+		res.FaultPlan = faultPlan
+		res.CrashesFired = inj.CrashesFired()
+		res.MessagesDropped, res.MessagesDuplicated, res.TransfersCut = net.FaultCounts()
 	}
 	return res, nil
 }

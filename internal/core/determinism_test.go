@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"testing"
+	"time"
+
+	"wadc/internal/faults"
+	"wadc/internal/sim"
+)
+
+// traceDigest runs cfg with a kernel tracer attached and folds every trace
+// line into a hash, so two runs can be compared event-for-event without
+// holding both logs in memory.
+func traceDigest(t *testing.T, cfg RunConfig) (RunResult, uint64, int) {
+	t.Helper()
+	h := fnv.New64a()
+	lines := 0
+	cfg.Tracer = func(at sim.Time, format string, args ...any) {
+		fmt.Fprintf(h, "%v %s\n", at, fmt.Sprintf(format, args...))
+		lines++
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res, h.Sum64(), lines
+}
+
+// TestDeterministicReplay: the same seed and fault configuration must produce
+// a bit-identical kernel event log and an identical Result — with and without
+// faults, for every algorithm.
+func TestDeterministicReplay(t *testing.T) {
+	faulty := faults.Config{
+		Crashes:      2,
+		MeanDowntime: 90 * time.Second,
+		DropProb:     0.05,
+		DupProb:      0.02,
+		LinkOutages:  1,
+		Horizon:      20 * time.Minute,
+	}
+	for name, mk := range chaosPolicies() {
+		for _, mode := range []struct {
+			label string
+			fc    faults.Config
+		}{
+			{"fault-free", faults.Config{}},
+			{"faulty", faulty},
+		} {
+			t.Run(name+"/"+mode.label, func(t *testing.T) {
+				cfg := RunConfig{
+					Seed: 21, NumServers: 4, Shape: CompleteBinaryTree,
+					Links: constLinks(64 * 1024), Policy: mk(),
+					Workload: smallWorkload(8),
+					Faults:   mode.fc,
+				}
+				a, hashA, linesA := traceDigest(t, cfg)
+				cfg.Policy = mk() // policies carry state; fresh instance per run
+				b, hashB, linesB := traceDigest(t, cfg)
+
+				if linesA == 0 {
+					t.Fatal("tracer captured no events")
+				}
+				if hashA != hashB || linesA != linesB {
+					t.Errorf("event logs diverge: %d lines/%#x vs %d lines/%#x",
+						linesA, hashA, linesB, hashB)
+				}
+				if !reflect.DeepEqual(a.Result, b.Result) {
+					t.Errorf("results diverge:\n  a=%+v\n  b=%+v", a.Result, b.Result)
+				}
+				if a.CrashesFired != b.CrashesFired ||
+					a.MessagesDropped != b.MessagesDropped ||
+					a.MessagesDuplicated != b.MessagesDuplicated ||
+					a.TransfersCut != b.TransfersCut {
+					t.Errorf("fault counters diverge: a=(%d %d %d %d) b=(%d %d %d %d)",
+						a.CrashesFired, a.MessagesDropped, a.MessagesDuplicated, a.TransfersCut,
+						b.CrashesFired, b.MessagesDropped, b.MessagesDuplicated, b.TransfersCut)
+				}
+				if mode.label == "faulty" && !reflect.DeepEqual(a.FaultPlan, b.FaultPlan) {
+					t.Error("generated fault plans diverge")
+				}
+			})
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"wadc/internal/faults"
 	"wadc/internal/monitor"
 	"wadc/internal/netmodel"
 	"wadc/internal/plan"
@@ -64,6 +65,14 @@ type Config struct {
 
 	// TrackTransfers records every data transfer for protocol tests.
 	TrackTransfers bool
+
+	// Faults, when non-nil, switches the engine into resilient mode: node
+	// processes run fault-tolerant loops with demand-retry timers, crashed
+	// operators are re-instantiated at their consumer, and the injector's
+	// crash windows are scheduled on the kernel. Nil keeps the strict loops,
+	// whose behaviour is byte-identical to an engine built before this field
+	// existed.
+	Faults *faults.Injector
 }
 
 // TransferRecord describes one data-message transfer, for protocol analysis.
@@ -102,6 +111,11 @@ type Result struct {
 	DataTransfers []TransferRecord
 	// MoveLog records every relocation.
 	MoveLog []MoveRecord
+
+	// Fault-recovery counters (all zero in a fault-free run).
+	Retries          int // demand re-sends by the recovery layer
+	Reinstantiations int // operators re-created at their consumer after a crash
+	Invalidated      int // forwarding pointers invalidated by host crashes
 }
 
 // Engine wires the tree's node processes together over the network.
@@ -118,8 +132,17 @@ type Engine struct {
 	switchActive    *switchState
 	proposalSeq     int
 
+	// lastOrder is the most recently broadcast switch order, kept so the
+	// recovery layer can re-send it to a server whose copy was lost.
+	lastOrder *switchOrder
+
+	// fwds tracks live forwarder processes per host, so a crash can
+	// invalidate the forwarding pointers that lived there.
+	fwds map[netmodel.HostID][]*sim.Proc
+
 	res       Result
 	completed bool
+	aborted   bool
 }
 
 type switchState struct {
@@ -162,6 +185,7 @@ func New(cfg Config) *Engine {
 		k:     cfg.Net.Kernel(),
 		nodes: make(map[plan.NodeID]*node),
 		vecs:  make(map[netmodel.HostID]*hostVectors),
+		fwds:  make(map[netmodel.HostID][]*sim.Proc),
 	}
 	t := cfg.Tree
 	for i := 0; i < t.NumNodes(); i++ {
@@ -172,6 +196,7 @@ func New(cfg Config) *Engine {
 			kind:     t.Node(id).Kind,
 			host:     cfg.Initial.Loc(id),
 			port:     basePort(id),
+			alive:    true,
 			neighbor: make(map[plan.NodeID]addr),
 			lateMark: make(map[plan.NodeID]bool),
 			applied:  make(map[int]bool),
@@ -298,19 +323,39 @@ func (e *Engine) Result() Result {
 // Completed reports whether the client received all iterations.
 func (e *Engine) Completed() bool { return e.completed }
 
-// Start spawns a process per server, operator and client.
+// Aborted reports whether the engine gave up: a fault plan made completion
+// impossible and a fetch exhausted its retries. Policy driver processes
+// should exit when they see this, exactly as on completion.
+func (e *Engine) Aborted() bool { return e.aborted }
+
+// Start spawns a process per server, operator and client. In resilient mode
+// (Config.Faults set) the fault-tolerant loop variants run instead, and the
+// injector's crash/recover windows are scheduled on the kernel.
 func (e *Engine) Start() {
 	t := e.cfg.Tree
 	for _, s := range t.Servers() {
 		n := e.nodes[s]
-		e.k.Spawn(fmt.Sprintf("server%d", s), func(p *sim.Proc) { n.serverLoop(p) })
+		if e.resilient() {
+			n.proc = e.k.Spawn(fmt.Sprintf("server%d", s), func(p *sim.Proc) { n.resilientServerLoop(p) })
+		} else {
+			e.k.Spawn(fmt.Sprintf("server%d", s), func(p *sim.Proc) { n.serverLoop(p) })
+		}
 	}
 	for _, op := range t.Operators() {
 		n := e.nodes[op]
-		e.k.Spawn(fmt.Sprintf("op%d", op), func(p *sim.Proc) { n.operatorLoop(p) })
+		if e.resilient() {
+			n.proc = e.k.Spawn(fmt.Sprintf("op%d", op), func(p *sim.Proc) { n.resilientOperatorLoop(p) })
+		} else {
+			e.k.Spawn(fmt.Sprintf("op%d", op), func(p *sim.Proc) { n.operatorLoop(p) })
+		}
 	}
 	cn := e.nodes[t.ClientNode()]
-	e.k.Spawn("client", func(p *sim.Proc) { cn.clientLoop(p) })
+	if e.resilient() {
+		cn.proc = e.k.Spawn("client", func(p *sim.Proc) { cn.resilientClientLoop(p) })
+		e.cfg.Faults.Schedule(e.k, e.onHostCrash, e.onHostRecover)
+	} else {
+		e.k.Spawn("client", func(p *sim.Proc) { cn.clientLoop(p) })
+	}
 }
 
 // finish records completion statistics.

@@ -34,6 +34,10 @@ const (
 	kindIterReport
 	kindSwitchAt
 	kindMoveNotice
+	// kindRetryTick is a node-local timer expiry, delivered through the
+	// node's own mailbox so retries are handled in process context like any
+	// other message. It never crosses the network.
+	kindRetryTick
 )
 
 func (k msgKind) String() string {
@@ -48,6 +52,8 @@ func (k msgKind) String() string {
 		return "switch-at"
 	case kindMoveNotice:
 		return "move-notice"
+	case kindRetryTick:
+		return "retry-tick"
 	default:
 		return "unknown"
 	}
@@ -85,6 +91,14 @@ type envelope struct {
 
 	// switch-at
 	order *switchOrder
+
+	// iter-report: the proposal the report answers, so a late or duplicate
+	// report can be matched against an already-broadcast order (recovery).
+	propID int
+
+	// retry-tick: the fetch sequence number the timer was armed for; ticks
+	// whose sequence no longer matches the node's active fetch are stale.
+	retrySeq int
 
 	// move-notice: the sender relocated; fromAddr is its new address.
 

@@ -45,6 +45,16 @@ type node struct {
 	applied   map[int]bool
 	seenProps map[int]bool
 	pendProp  *proposal
+
+	// Recovery state (resilient mode only; see recovery.go). alive is the
+	// engine-registry liveness flag consulted by consumers before demanding;
+	// proc is the process currently driving the node, killed on host crash.
+	alive     bool
+	proc      *sim.Proc
+	lastSent  *heldData   // most recently served output, kept for re-serving
+	startIter int         // first iteration of this incarnation
+	fetchSeq  int         // monotone fetch counter guarding stale retry ticks
+	fetch     *fetchState // in-progress input fetch, nil between fetches
 }
 
 func (n *node) address() addr { return addr{host: n.host, port: n.port} }
@@ -175,6 +185,11 @@ func (n *node) applySwitchIfDue(p *sim.Proc, nextIter int) {
 // bounced to the new one rather than lost.
 func (n *node) moveTo(p *sim.Proc, target netmodel.HostID, extraBytes int64, barrier bool) {
 	e := n.e
+	if e.hostDown(target) {
+		// The policy (or a stale switch order) points at a crashed host:
+		// stay put rather than relocating into the outage.
+		return
+	}
 	oldHost := n.host
 	oldMB := n.mailbox()
 
@@ -211,11 +226,18 @@ func (n *node) moveTo(p *sim.Proc, target netmodel.HostID, extraBytes int64, bar
 }
 
 // spawnForwarder drains messages arriving at a vacated mailbox and re-sends
-// them to the node's current address (mobile-object forwarding pointer).
+// them to the node's current address (mobile-object forwarding pointer). The
+// forwarder dies with its host: a crash invalidates the pointer, and senders
+// recover through demand retries and registry-based re-instantiation.
 func (e *Engine) spawnForwarder(n *node, oldHost netmodel.HostID, mb *sim.Mailbox) {
-	e.k.Spawn(fmt.Sprintf("fwd-n%d-%d", n.id, n.moveSeq), func(p *sim.Proc) {
+	fp := e.k.Spawn(fmt.Sprintf("fwd-n%d-%d", n.id, n.moveSeq), func(p *sim.Proc) {
 		for {
 			msg := mb.Recv(p).(*netmodel.Message)
+			if e.resilient() && !n.alive {
+				// The target died since the pointer was planted: drop rather
+				// than deliver into a dead incarnation's mailbox.
+				continue
+			}
 			e.res.Forwarded++
 			cur := n.address()
 			e.cfg.Net.Send(p, &netmodel.Message{
@@ -224,6 +246,7 @@ func (e *Engine) spawnForwarder(n *node, oldHost netmodel.HostID, mb *sim.Mailbo
 			})
 		}
 	})
+	e.fwds[oldHost] = append(e.fwds[oldHost], fp)
 }
 
 // sendData replies to a demand with the held output.
@@ -241,6 +264,7 @@ func (n *node) sendData(p *sim.Proc, demand *envelope) {
 	env := &envelope{kind: kindData, iter: n.held.iter, bytes: n.held.bytes}
 	n.send(p, demand.fromAddr, env, n.held.bytes, sim.PriorityData)
 	n.sends++
+	n.lastSent = n.held // kept so a lost delivery can be re-served (recovery)
 	n.held = nil
 }
 
@@ -328,7 +352,7 @@ func (n *node) serverLoop(p *sim.Proc) {
 			}
 			if !n.seenProps[demand.prop.id] {
 				n.seenProps[demand.prop.id] = true
-				rep := &envelope{kind: kindIterReport, iter: it}
+				rep := &envelope{kind: kindIterReport, iter: it, propID: demand.prop.id}
 				n.send(p, clientAddr(), rep, e.cfg.ControlBytes, sim.PriorityBarrier)
 				// Suspend until the client's broadcast for this proposal.
 				for n.order == nil || n.order.id < demand.prop.id {
@@ -405,7 +429,17 @@ func (n *node) clientLoop(p *sim.Proc) {
 func (n *node) handleIterReport(p *sim.Proc, env *envelope) {
 	e := n.e
 	st := e.switchActive
-	if st == nil {
+	if st == nil || (e.resilient() && env.propID != st.prop.id) {
+		// No change-over is collecting this report. If the report answers a
+		// proposal whose order was already broadcast, the server evidently
+		// lost its copy (report or broadcast dropped): re-send the order
+		// directly so the server can leave its suspension (recovery only —
+		// duplicate reports cannot occur on the fault-free path).
+		if e.resilient() && e.lastOrder != nil && env.propID == e.lastOrder.id {
+			n.send(p, e.nodes[env.from].address(),
+				&envelope{kind: kindSwitchAt, iter: e.lastOrder.iter, order: e.lastOrder},
+				e.cfg.ControlBytes, sim.PriorityBarrier)
+		}
 		return
 	}
 	st.reports[env.from] = env.iter
@@ -434,6 +468,14 @@ func (n *node) handleIterReport(p *sim.Proc, env *envelope) {
 	// deterministic id order. The client "knows" operator locations because
 	// it computed both placements (the global algorithm has global
 	// knowledge); addresses come from the engine registry.
+	n.broadcastOrder(p, order)
+	e.res.Switches++
+}
+
+// broadcastOrder sends a switch order to every server and operator with
+// barrier priority and retires the active change-over.
+func (n *node) broadcastOrder(p *sim.Proc, order *switchOrder) {
+	e := n.e
 	targets := append(e.cfg.Tree.Servers(), e.cfg.Tree.Operators()...)
 	for _, id := range targets {
 		dst := e.nodes[id].address()
@@ -441,6 +483,6 @@ func (n *node) handleIterReport(p *sim.Proc, env *envelope) {
 			e.cfg.ControlBytes, sim.PriorityBarrier)
 	}
 	n.order = order // the client flips its own expectation too
+	e.lastOrder = order
 	e.switchActive = nil
-	e.res.Switches++
 }

@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"wadc/internal/core"
+	"wadc/internal/faults"
 	"wadc/internal/placement"
 	"wadc/internal/trace"
 	"wadc/internal/workload"
@@ -31,6 +33,10 @@ type Options struct {
 	// MeanImageBytes overrides the workload's mean image size (paper:
 	// 128 KB).
 	MeanImageBytes int64
+	// Faults applies the same fault-injection configuration to every run of
+	// the sweep (zero disables it). Each run derives its own fault seed from
+	// its run seed, so configurations fail differently but reproducibly.
+	Faults faults.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +99,12 @@ type Cell struct {
 	Switches         int
 	Forwarded        int
 	Probes           int64
+	// Fault-injection accounting (zero when Options.Faults is unset).
+	CrashesFired     int
+	Retries          int
+	Reinstantiations int
+	Dropped          int64
+	Duplicated       int64
 }
 
 // Sweep holds every cell of a sweep, grouped by algorithm, aligned by
@@ -171,6 +183,7 @@ func RunSweep(o Options, shape core.TreeShape, algs []AlgSpec, pool *trace.Pool)
 				Links:      assignments[j.cfg].LinkFn(),
 				Policy:     a.New(o, seed),
 				Workload:   o.workloadConfig(),
+				Faults:     o.Faults,
 			})
 			if err != nil {
 				errs[i] = fmt.Errorf("config %d, %s: %w", j.cfg, a.Name, err)
@@ -185,14 +198,20 @@ func RunSweep(o Options, shape core.TreeShape, algs []AlgSpec, pool *trace.Pool)
 				Switches:         res.Switches,
 				Forwarded:        res.Forwarded,
 				Probes:           res.Probes,
+				CrashesFired:     res.CrashesFired,
+				Retries:          res.Retries,
+				Reinstantiations: res.Reinstantiations,
+				Dropped:          res.MessagesDropped,
+				Duplicated:       res.MessagesDuplicated,
 			}
 		}(i, j)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// Report every failed job, not just the first: a sweep that dies on
+	// config 3 may also be dying on configs 40 and 200 for a different
+	// reason, and one error at a time makes that needlessly slow to see.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	sweep := &Sweep{Opts: o, Cells: make(map[string][]Cell)}
 	for i, j := range jobs {

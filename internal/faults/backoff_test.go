@@ -1,0 +1,93 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// arbitraryBackoff maps raw quick-generated integers onto a valid-but-varied
+// schedule whose Factor respects the monotonicity precondition
+// Factor >= 1+Jitter.
+func arbitraryBackoff(base, max uint16, factorC, jitterC uint8) Backoff {
+	jitter := float64(jitterC%80+1) / 100 // [0.01, 0.80]; 0 would default to 0.25
+	return Backoff{
+		Base:   time.Duration(base%10000+1) * time.Millisecond,
+		Factor: 1 + jitter + float64(factorC%30)/10, // >= 1+Jitter
+		Max:    time.Duration(max%60000+1)*time.Millisecond + 10*time.Second,
+		Jitter: jitter,
+	}
+}
+
+func TestBackoffMonotoneProperty(t *testing.T) {
+	prop := func(base, max uint16, factorC, jitterC uint8, seed int64) bool {
+		b := arbitraryBackoff(base, max, factorC, jitterC)
+		rng := rand.New(rand.NewSource(seed))
+		prev := time.Duration(-1)
+		for n := 0; n < 40; n++ {
+			d := b.Delay(n, rng)
+			if d < prev {
+				t.Logf("schedule %+v: delay(%d)=%v < delay(%d)=%v", b, n, d, n-1, prev)
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBackoffBoundedProperty(t *testing.T) {
+	prop := func(base, max uint16, factorC, jitterC uint8, seed int64, attempt uint8) bool {
+		b := arbitraryBackoff(base, max, factorC, jitterC)
+		rng := rand.New(rand.NewSource(seed))
+		d := b.Delay(int(attempt), rng)
+		return d > 0 && d <= b.Bound()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBackoffJitterWithinBoundsProperty(t *testing.T) {
+	prop := func(base, max uint16, factorC, jitterC uint8, seed int64, attempt uint8) bool {
+		b := arbitraryBackoff(base, max, factorC, jitterC)
+		n := int(attempt % 20)
+		lo := b.Delay(n, nil) // jitter-free floor (already capped at Max)
+		rng := rand.New(rand.NewSource(seed))
+		d := b.Delay(n, rng)
+		hi := time.Duration(float64(lo) * (1 + b.Jitter))
+		if hi > b.Max {
+			hi = b.Max
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	b := Backoff{}.WithDefaults()
+	a := rand.New(rand.NewSource(7))
+	c := rand.New(rand.NewSource(7))
+	for n := 0; n < 10; n++ {
+		if da, dc := b.Delay(n, a), b.Delay(n, c); da != dc {
+			t.Fatalf("attempt %d: %v != %v from identical rng state", n, da, dc)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := Backoff{}.WithDefaults()
+	if b.Base != DefaultRetryBase || b.Factor != DefaultRetryFactor ||
+		b.Max != DefaultRetryMax || b.Jitter != DefaultRetryJitter {
+		t.Fatalf("zero Backoff did not take defaults: %+v", b)
+	}
+	if got := (Backoff{Factor: 0.3}).WithDefaults().Factor; got != 1 {
+		t.Fatalf("sub-1 factor should clamp to 1, got %v", got)
+	}
+}

@@ -1,0 +1,141 @@
+package faults
+
+import (
+	"math/rand"
+	"sort"
+
+	"wadc/internal/netmodel"
+	"wadc/internal/sim"
+)
+
+// Injector imposes a Plan on a running simulation. It implements
+// netmodel.FaultHook (message drop/duplication, down-host delivery loss,
+// mid-transfer link cuts) and schedules the plan's crash/recover windows on
+// the kernel, notifying the recovery layer through callbacks.
+//
+// All randomness comes from the seeded stream handed to NewInjector and is
+// consumed in kernel event order, so a faulty simulation replays
+// identically from its seed.
+type Injector struct {
+	plan  *Plan
+	rng   *rand.Rand
+	retry Backoff
+
+	down    map[netmodel.HostID]bool
+	links   map[[2]netmodel.HostID]LinkFault
+	outages map[[2]netmodel.HostID][]LinkOutage
+
+	crashFired int
+}
+
+func linkKey(a, b netmodel.HostID) [2]netmodel.HostID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]netmodel.HostID{a, b}
+}
+
+// NewInjector builds an injector for the plan. rng is the dedicated fault
+// stream (derive it from the run seed); retry parameterises the recovery
+// layer's backoff and is exposed via Retry.
+func NewInjector(plan *Plan, rng *rand.Rand, retry Backoff) *Injector {
+	in := &Injector{
+		plan:    plan,
+		rng:     rng,
+		retry:   retry.WithDefaults(),
+		down:    make(map[netmodel.HostID]bool),
+		links:   make(map[[2]netmodel.HostID]LinkFault),
+		outages: make(map[[2]netmodel.HostID][]LinkOutage),
+	}
+	for _, lf := range plan.Links {
+		in.links[linkKey(lf.A, lf.B)] = lf
+	}
+	for _, o := range plan.Outages {
+		k := linkKey(o.A, o.B)
+		in.outages[k] = append(in.outages[k], o)
+	}
+	for k := range in.outages {
+		sort.Slice(in.outages[k], func(i, j int) bool {
+			return in.outages[k][i].Start < in.outages[k][j].Start
+		})
+	}
+	return in
+}
+
+// Plan returns the plan being injected.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// Retry returns the recovery layer's backoff schedule.
+func (in *Injector) Retry() Backoff { return in.retry }
+
+// Rand returns the injector's seeded fault stream (the recovery layer draws
+// its retry jitter here, keeping the kernel's model stream untouched).
+func (in *Injector) Rand() *rand.Rand { return in.rng }
+
+// Schedule registers every crash window's down/up transition on the kernel.
+// onCrash runs at the instant the host goes down (after the down flag is
+// set), onRecover at the instant it comes back; both run in scheduler
+// context, where killing processes is legal. Call once, before the
+// simulation starts.
+func (in *Injector) Schedule(k *sim.Kernel, onCrash, onRecover func(h netmodel.HostID)) {
+	for _, w := range in.plan.Crashes {
+		w := w
+		k.At(w.At, func() {
+			in.down[w.Host] = true
+			in.crashFired++
+			if onCrash != nil {
+				onCrash(w.Host)
+			}
+		})
+		k.At(w.RecoverAt, func() {
+			in.down[w.Host] = false
+			if onRecover != nil {
+				onRecover(w.Host)
+			}
+		})
+	}
+}
+
+// CrashesFired reports how many crash windows have taken effect so far.
+func (in *Injector) CrashesFired() int { return in.crashFired }
+
+// HostDown implements netmodel.FaultHook.
+func (in *Injector) HostDown(h netmodel.HostID) bool { return in.down[h] }
+
+// CutDuring implements netmodel.FaultHook: the earliest outage on a<->b
+// whose window intersects [from, until).
+func (in *Injector) CutDuring(a, b netmodel.HostID, from, until sim.Time) (sim.Time, bool) {
+	for _, o := range in.outages[linkKey(a, b)] {
+		if o.Start >= until {
+			break // sorted by start: nothing later can intersect
+		}
+		if o.End <= from {
+			continue // already over
+		}
+		at := o.Start
+		if at < from {
+			at = from // the outage is already in progress
+		}
+		return at, true
+	}
+	return 0, false
+}
+
+// Fate implements netmodel.FaultHook: one uniform draw per transfer decides
+// drop vs duplicate vs normal delivery. Links with no configured fault cost
+// no draw, so a plan with only crash windows perturbs nothing else.
+func (in *Injector) Fate(a, b netmodel.HostID) netmodel.Fate {
+	lf, ok := in.links[linkKey(a, b)]
+	if !ok || (lf.DropProb <= 0 && lf.DupProb <= 0) {
+		return netmodel.FateDeliver
+	}
+	u := in.rng.Float64()
+	switch {
+	case u < lf.DropProb:
+		return netmodel.FateDrop
+	case u < lf.DropProb+lf.DupProb:
+		return netmodel.FateDuplicate
+	default:
+		return netmodel.FateDeliver
+	}
+}

@@ -103,6 +103,43 @@ type Observer interface {
 	AfterDeliver(msg *Message, linkDuration time.Duration)
 }
 
+// Fate is a fault hook's verdict on a completed remote transfer.
+type Fate int
+
+// Transfer fates.
+const (
+	// FateDeliver delivers the message normally.
+	FateDeliver Fate = iota
+	// FateDrop loses the message after the transfer (the sender has spent
+	// the wire time and does not learn of the loss — there are no
+	// acknowledgements in this network).
+	FateDrop
+	// FateDuplicate delivers the message twice (a retransmission artefact).
+	FateDuplicate
+)
+
+// FaultHook injects deterministic failures into the network. All methods are
+// consulted only for remote transfers; local (same-host) deliveries are
+// never faulted. The hook must be deterministic given the simulation seed:
+// Fate is called exactly once per remote transfer, in kernel event order, so
+// an implementation may consume a seeded random stream.
+//
+// The faults package provides the standard implementation; the hook lives
+// here so netmodel stays dependency-free.
+type FaultHook interface {
+	// HostDown reports whether h is crashed at the current simulated time.
+	// Messages completing their transfer while the destination is down are
+	// lost.
+	HostDown(h HostID) bool
+	// CutDuring reports the earliest time in [from, until) at which the link
+	// a<->b goes dark, if any. A transfer spanning a cut is aborted at the
+	// cut and the message is lost mid-flight.
+	CutDuring(a, b HostID, from, until sim.Time) (sim.Time, bool)
+	// Fate draws the delivery fate for a transfer that completed on link
+	// a<->b (drop and duplication model lossy WAN paths).
+	Fate(a, b HostID) Fate
+}
+
 // Network is the complete-graph network. Construct with NewNetwork, add
 // hosts, then set a bandwidth trace per link.
 type Network struct {
@@ -112,12 +149,18 @@ type Network struct {
 	startup   time.Duration
 	flatPrio  bool
 	observers []Observer
+	faults    FaultHook
 
 	// Transfer accounting.
 	transfers      int64
 	bytesMoved     int64
 	controlSends   int64
 	barrierOvertax int64 // barrier messages that found a non-empty NIC queue
+
+	// Fault accounting (all zero when no FaultHook is installed).
+	dropped    int64 // messages lost to a drop fate or a down destination
+	duplicated int64 // messages delivered twice
+	cut        int64 // transfers aborted by a mid-transfer link blackout
 }
 
 // NetOption configures a Network.
@@ -210,11 +253,22 @@ func (n *Network) BandwidthAt(a, b HostID, t sim.Time) trace.Bandwidth {
 	return tr.At(t)
 }
 
+// SetFaults installs the fault hook (nil disables fault injection). The
+// fault-free path is byte-identical to a network with no hook installed.
+func (n *Network) SetFaults(h FaultHook) { n.faults = h }
+
 // Transfers returns the total number of remote message transfers completed.
 func (n *Network) Transfers() int64 { return n.transfers }
 
 // BytesMoved returns the total bytes moved over the network.
 func (n *Network) BytesMoved() int64 { return n.bytesMoved }
+
+// FaultCounts reports messages lost (dropped or delivered to a crashed
+// host), messages duplicated, and transfers aborted by mid-transfer link
+// blackouts. All zero unless a FaultHook is installed.
+func (n *Network) FaultCounts() (dropped, duplicated, cut int64) {
+	return n.dropped, n.duplicated, n.cut
+}
 
 // Send performs a blocking message transfer executed by process p: it queues
 // for both endpoint NICs (in canonical order, avoiding deadlock between
@@ -258,16 +312,52 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 	if msg.Prio >= sim.PriorityBarrier && (src.nic.InUse() > 0 || dst.nic.InUse() > 0) {
 		n.barrierOvertax++
 	}
+	// The sender process can be killed (host crash) while queueing or
+	// mid-transfer; the deferred cleanup frees whatever it still holds so the
+	// peer's NIC is not wedged forever. On the normal path both flags are
+	// cleared before the explicit releases below, keeping the event order
+	// identical to a fault-free network.
+	var heldFirst, heldSecond bool
+	defer func() {
+		if heldSecond {
+			second.nic.Release()
+		}
+		if heldFirst {
+			first.nic.Release()
+		}
+	}()
 	first.nic.Acquire(p, prio)
+	heldFirst = true
 	second.nic.Acquire(p, prio)
+	heldSecond = true
 
 	for _, o := range n.observers {
 		o.BeforeSend(msg)
 	}
 	dur := n.startup + tr.TransferDuration(n.k.Now().Add(n.startup), msg.Size)
+	if n.faults != nil {
+		if at, ok := n.faults.CutDuring(msg.Src, msg.Dst, n.k.Now(), n.k.Now().Add(dur)); ok {
+			// The link goes dark before the transfer completes: the endpoints
+			// stay busy until the cut (at least the start-up cost — the
+			// sender tries), then the message is lost in flight.
+			failAt := at
+			if min := n.k.Now().Add(n.startup); failAt < min {
+				failAt = min
+			}
+			p.HoldUntil(failAt)
+			heldSecond = false
+			second.nic.Release()
+			heldFirst = false
+			first.nic.Release()
+			n.cut++
+			return
+		}
+	}
 	p.Hold(dur)
 
+	heldSecond = false
 	second.nic.Release()
+	heldFirst = false
 	first.nic.Release()
 
 	msg.DeliveredAt = n.k.Now()
@@ -278,6 +368,21 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 	}
 	for _, o := range n.observers {
 		o.AfterDeliver(msg, dur)
+	}
+	if n.faults != nil {
+		if n.faults.HostDown(msg.Dst) {
+			// The destination crashed while the message was on the wire.
+			n.dropped++
+			return
+		}
+		switch n.faults.Fate(msg.Src, msg.Dst) {
+		case FateDrop:
+			n.dropped++
+			return
+		case FateDuplicate:
+			n.duplicated++
+			n.deliver(msg, prio)
+		}
 	}
 	n.deliver(msg, prio)
 }

@@ -45,7 +45,7 @@ func (g *Global) Attach(x *Instance, e *dataflow.Engine) {
 	e.Kernel().Spawn("global-placer", func(p *sim.Proc) {
 		for {
 			p.Hold(period)
-			if e.Completed() {
+			if e.Completed() || e.Aborted() {
 				return
 			}
 			if e.SwitchInProgress() {
@@ -54,7 +54,7 @@ func (g *Global) Attach(x *Instance, e *dataflow.Engine) {
 			cur := e.CurrentPlacement()
 			bw := x.SnapshotBW(p, x.ClientHost)
 			next := OneShotOptimize(cur, x.Hosts, x.Model, bw)
-			if e.Completed() {
+			if e.Completed() || e.Aborted() {
 				return // probes may have outlived the run
 			}
 			if !next.Equal(cur) && e.ProposeSwitch(next) {

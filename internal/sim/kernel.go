@@ -185,13 +185,33 @@ func (k *Kernel) RunUntil(end Time) error {
 	}
 }
 
-// resume transfers control to p and blocks until p yields it back.
+// resume transfers control to p and blocks until p yields it back. A doomed
+// process (see Kill) is resumed with a kill signal regardless of sig.
 func (k *Kernel) resume(p *Proc, sig signal) {
 	if p.finished {
 		return
 	}
+	if p.doomed {
+		sig = signalKill
+	}
 	p.resume <- sig
 	<-k.yield
+}
+
+// Kill unwinds a single process: the next time the scheduler would resume p
+// (an event is scheduled immediately, so at the latest at the current time),
+// it receives a kill signal and panics the errKilled sentinel out of its
+// blocking primitive, running any deferred cleanups on the way out. Kill
+// models a host crash taking its processes down mid-simulation; it must be
+// called from scheduler context (a timer callback or another process), never
+// from p itself. Killing a finished process is a no-op.
+func (k *Kernel) Kill(p *Proc) {
+	if p == nil || p.finished || p.doomed || !p.started {
+		return
+	}
+	p.doomed = true
+	k.trace("kill %s", p.name)
+	k.schedule(k.now, nil, p)
 }
 
 // killAll unwinds every live process goroutine by resuming it with a kill

@@ -100,10 +100,21 @@ func (m *Mailbox) Send(msg any, prio Priority) {
 	m.k.trace("mailbox %s send prio=%v", m.name, prio)
 	heap.Push(&m.queue, &item{value: msg, prio: prio, seq: m.seq})
 	m.seq++
-	if len(m.waiters) > 0 {
+	m.wakeOne()
+}
+
+// wakeOne wakes the first still-live waiter, discarding waiters that were
+// killed while blocked (their wake would be a lost token and the message
+// would strand).
+func (m *Mailbox) wakeOne() {
+	for len(m.waiters) > 0 {
 		p := m.waiters[0]
 		m.waiters = m.waiters[1:]
+		if p.finished || p.doomed {
+			continue
+		}
 		m.k.schedule(m.k.now, nil, p)
+		return
 	}
 }
 
@@ -119,12 +130,19 @@ func (m *Mailbox) Recv(p *Proc) any {
 	// If messages remain and other receivers are waiting, pass the wake on:
 	// Send wakes only one waiter, so without this hand-off a second queued
 	// message could strand a second waiter.
-	if m.queue.Len() > 0 && len(m.waiters) > 0 {
-		next := m.waiters[0]
-		m.waiters = m.waiters[1:]
-		m.k.schedule(m.k.now, nil, next)
+	if m.queue.Len() > 0 {
+		m.wakeOne()
 	}
 	return it.value
+}
+
+// Drain discards every queued message and returns how many were dropped. A
+// host crash purges the mailboxes of the processes it kills: buffered but
+// unconsumed messages are memory, and memory is lost.
+func (m *Mailbox) Drain() int {
+	n := m.queue.Len()
+	m.queue = m.queue[:0]
+	return n
 }
 
 // TryRecv returns the highest-priority message if one is queued, without

@@ -20,6 +20,11 @@ type Proc struct {
 	resume   chan signal
 	started  bool
 	finished bool
+	// doomed marks a process killed by Kernel.Kill: its next resume —
+	// whatever scheduled it — delivers a kill signal instead of a wake, so
+	// the process unwinds (running its deferred cleanups) the next time the
+	// scheduler reaches it.
+	doomed bool
 }
 
 // Spawn creates a process running fn and schedules it to start at the current

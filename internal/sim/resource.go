@@ -97,11 +97,17 @@ func (r *Resource) Release() {
 	}
 	r.account()
 	r.inUse--
-	if r.queue.Len() > 0 && r.inUse < r.capacity {
+	for r.queue.Len() > 0 && r.inUse < r.capacity {
 		next := heap.Pop(&r.queue).(*item).value.(*Proc)
+		if next.finished || next.doomed {
+			// A waiter killed while queueing (host crash) must not be granted
+			// a unit it can never release; drop it and try the next waiter.
+			continue
+		}
 		r.grant()
 		r.k.trace("resource %s grant %s", r.name, next.name)
 		r.k.schedule(r.k.now, nil, next)
+		break
 	}
 }
 
