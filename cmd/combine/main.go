@@ -7,6 +7,11 @@
 //	combine -servers 8 -alg global -config 17
 //	combine -servers 4 -alg local -shape left-deep -period 5m -iters 60
 //	combine -alg download-all -v
+//	combine -alg local -trace-out run.json -metrics-out run.csv
+//
+// -trace-out writes a Chrome trace-event/Perfetto timeline (open it at
+// https://ui.perfetto.dev), -events-out the raw structured event log as JSON
+// Lines, and -metrics-out the run's metric registry as CSV.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"wadc/internal/core"
 	"wadc/internal/experiment"
 	"wadc/internal/placement"
+	"wadc/internal/telemetry"
 	"wadc/internal/trace"
 	"wadc/internal/workload"
 )
@@ -33,6 +39,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		config  = flag.Int("config", 0, "network configuration index")
 		verbose = flag.Bool("v", false, "print per-image arrival times and the move log")
+
+		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event timeline JSON to this file")
+		eventsOut  = flag.String("events-out", "", "write the structured event log (JSON Lines) to this file")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics as CSV to this file")
 	)
 	flag.Parse()
 
@@ -58,6 +68,15 @@ func main() {
 	pool := trace.NewStudyPool(*seed)
 	assignment := experiment.GenerateAssignments(pool, *config+1, *servers, *seed)[*config]
 
+	// The timeline and event log want only model-level events; the recorder
+	// is attached lazily so a plain run carries no telemetry at all.
+	var rec *telemetry.Recorder
+	var sink telemetry.Sink
+	if *traceOut != "" || *eventsOut != "" {
+		rec = &telemetry.Recorder{}
+		sink = telemetry.ModelOnly(rec)
+	}
+
 	res, err := core.Run(core.RunConfig{
 		Seed:       *seed*7919 + int64(*config),
 		NumServers: *servers,
@@ -69,10 +88,43 @@ func main() {
 			MeanBytes:       workload.DefaultMeanBytes,
 			SpreadFrac:      workload.DefaultSpreadFrac,
 		},
+		Telemetry:      sink,
+		CollectMetrics: *metricsOut != "",
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "combine: %v\n", err)
 		os.Exit(1)
+	}
+
+	// Host i is server i; the last host is the client (core.Run's layout).
+	hostNames := make([]string, *servers+1)
+	for i := 0; i < *servers; i++ {
+		hostNames[i] = fmt.Sprintf("s%d", i)
+	}
+	hostNames[*servers] = "client"
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(f *os.File) error {
+			return telemetry.WritePerfetto(f, rec.Events(), hostNames)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "combine: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *eventsOut != "" {
+		if err := writeFile(*eventsOut, func(f *os.File) error {
+			return telemetry.WriteJSONL(f, rec.Events())
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "combine: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, func(f *os.File) error {
+			return telemetry.WriteMetricsCSV(f, res.Metrics)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "combine: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("algorithm:          %s\n", res.Algorithm)
@@ -102,4 +154,18 @@ func main() {
 			fmt.Printf("  image %3d at %9.1fs\n", i, at.Seconds())
 		}
 	}
+}
+
+// writeFile creates path, runs emit on it and closes it, folding the close
+// error in (the buffered exporters flush inside emit).
+func writeFile(path string, emit func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -28,15 +28,19 @@ func main() {
 		iters   = flag.Int("iters", 180, "images per server")
 		seed    = flag.Int64("seed", 1, "random seed")
 		period  = flag.Duration("period", 10*time.Minute, "relocation period (figures 6, 7, 8, 10)")
+		workers = flag.Int("workers", 0, "max concurrent simulations (0: number of CPUs)")
+		telDir  = flag.String("telemetry-dir", "", "write per-cell event logs and metrics into this directory")
 	)
 	flag.Parse()
 
 	opts := experiment.Options{
-		Configs:    *configs,
-		Servers:    *servers,
-		Iterations: *iters,
-		Seed:       *seed,
-		Period:     *period,
+		Configs:      *configs,
+		Servers:      *servers,
+		Iterations:   *iters,
+		Seed:         *seed,
+		Period:       *period,
+		Workers:      *workers,
+		TelemetryDir: *telDir,
 	}
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 	start := time.Now()

@@ -20,6 +20,7 @@ import (
 	"wadc/internal/placement"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
+	"wadc/internal/telemetry"
 	"wadc/internal/trace"
 	"wadc/internal/workload"
 )
@@ -99,6 +100,14 @@ type RunConfig struct {
 	// determinism regression tests; identical seeds must produce identical
 	// traces).
 	Tracer sim.Tracer
+	// Telemetry, when set, receives every structured simulation event
+	// (kernel scheduling, transfers, demands, relocations, barriers, faults).
+	// Sinks are purely observational: a run with telemetry attached is
+	// bit-identical to the same run without it.
+	Telemetry telemetry.Sink
+	// CollectMetrics attaches a telemetry.Collector to the run and snapshots
+	// its registry into RunResult.Metrics.
+	CollectMetrics bool
 }
 
 // RunResult is the outcome of one run.
@@ -122,6 +131,9 @@ type RunResult struct {
 	MessagesDropped    int64
 	MessagesDuplicated int64
 	TransfersCut       int64
+	// Metrics is the run's metric snapshot (nil unless
+	// RunConfig.CollectMetrics was set).
+	Metrics *telemetry.Snapshot
 }
 
 // Run executes one complete simulation and returns its result.
@@ -139,6 +151,14 @@ func Run(cfg RunConfig) (RunResult, error) {
 	kOpts := []sim.Option{sim.WithSeed(cfg.Seed)}
 	if cfg.Tracer != nil {
 		kOpts = append(kOpts, sim.WithTracer(cfg.Tracer))
+	}
+	var collector *telemetry.Collector
+	if cfg.CollectMetrics {
+		collector = telemetry.NewCollector()
+		kOpts = append(kOpts, sim.WithTelemetry(collector))
+	}
+	if cfg.Telemetry != nil {
+		kOpts = append(kOpts, sim.WithTelemetry(cfg.Telemetry))
 	}
 	k := sim.NewKernel(kOpts...)
 	var netOpts []netmodel.NetOption
@@ -234,6 +254,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 		res.FaultPlan = faultPlan
 		res.CrashesFired = inj.CrashesFired()
 		res.MessagesDropped, res.MessagesDuplicated, res.TransfersCut = net.FaultCounts()
+	}
+	if collector != nil {
+		res.Metrics = collector.Snapshot()
 	}
 	return res, nil
 }

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"wadc/internal/faults"
+	"wadc/internal/telemetry"
+)
+
+// TestTelemetryDoesNotPerturbDeterminism: attaching the full telemetry stack
+// (structured recorder + metrics collector) must not change a run at all —
+// same seed ⇒ identical kernel event-log hash and identical Result, with
+// telemetry on or off. Telemetry is observation, never actuation.
+func TestTelemetryDoesNotPerturbDeterminism(t *testing.T) {
+	faulty := faults.Config{
+		Crashes:      2,
+		MeanDowntime: 90 * time.Second,
+		DropProb:     0.05,
+		DupProb:      0.02,
+		LinkOutages:  1,
+		Horizon:      20 * time.Minute,
+	}
+	for name, mk := range chaosPolicies() {
+		for _, mode := range []struct {
+			label string
+			fc    faults.Config
+		}{
+			{"fault-free", faults.Config{}},
+			{"faulty", faulty},
+		} {
+			t.Run(name+"/"+mode.label, func(t *testing.T) {
+				cfg := RunConfig{
+					Seed: 21, NumServers: 4, Shape: CompleteBinaryTree,
+					Links: constLinks(64 * 1024), Policy: mk(),
+					Workload: smallWorkload(8),
+					Faults:   mode.fc,
+				}
+				plain, plainHash, plainLines := traceDigest(t, cfg)
+
+				cfg.Policy = mk()
+				recA := telemetry.NewRecorder()
+				cfg.Telemetry = telemetry.ModelOnly(recA)
+				cfg.CollectMetrics = true
+				instrumented, instrHash, instrLines := traceDigest(t, cfg)
+
+				if plainHash != instrHash || plainLines != instrLines {
+					t.Errorf("telemetry perturbed the kernel event log: %d lines/%#x plain vs %d lines/%#x instrumented",
+						plainLines, plainHash, instrLines, instrHash)
+				}
+				if !reflect.DeepEqual(plain.Result, instrumented.Result) {
+					t.Errorf("telemetry perturbed the result:\n  plain=%+v\n  instr=%+v",
+						plain.Result, instrumented.Result)
+				}
+				if recA.Len() == 0 {
+					t.Fatal("recorder captured no model events")
+				}
+				if instrumented.Metrics == nil {
+					t.Fatal("CollectMetrics did not populate RunResult.Metrics")
+				}
+				if instrumented.Metrics.Counters["net.transfers"] == 0 {
+					t.Error("metrics snapshot recorded no transfers")
+				}
+
+				// The structured stream itself must also replay bit-identically.
+				cfg.Policy = mk()
+				recB := telemetry.NewRecorder()
+				cfg.Telemetry = telemetry.ModelOnly(recB)
+				if _, _, _ = traceDigest(t, cfg); recA.Hash() != recB.Hash() || recA.Len() != recB.Len() {
+					t.Errorf("structured event stream diverged across identical runs: %d/%#x vs %d/%#x",
+						recA.Len(), recA.Hash(), recB.Len(), recB.Hash())
+				}
+			})
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"wadc/internal/netmodel"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
+	"wadc/internal/telemetry"
 	"wadc/internal/workload"
 )
 
@@ -122,6 +123,7 @@ type Result struct {
 type Engine struct {
 	cfg   Config
 	k     *sim.Kernel
+	tel   telemetry.Sink // cached kernel sink; nil when telemetry is off
 	nodes map[plan.NodeID]*node
 	vecs  map[netmodel.HostID]*hostVectors
 
@@ -273,8 +275,25 @@ func (e *Engine) ResetCounters(id plan.NodeID) {
 
 // SetCritical sets a node's own belief that it is on the critical path; the
 // flag rides on its subsequent demands so its producers can ground their own
-// decision (paper §2.3 step 3).
-func (e *Engine) SetCritical(id plan.NodeID, v bool) { e.nodes[id].critical = v }
+// decision (paper §2.3 step 3). Setting an unchanged flag is a no-op, so the
+// telemetry stream records only genuine critical-path transitions.
+func (e *Engine) SetCritical(id plan.NodeID, v bool) {
+	n := e.nodes[id]
+	if n.critical == v {
+		return
+	}
+	n.critical = v
+	if e.tel != nil {
+		val := 0.0
+		if v {
+			val = 1.0
+		}
+		e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindCriticalChanged,
+			Node: int32(id), Host: int32(n.host), Value: val,
+		})
+	}
+}
 
 // Critical returns the node's current critical flag.
 func (e *Engine) Critical(id plan.NodeID) bool { return e.nodes[id].critical }
@@ -332,6 +351,7 @@ func (e *Engine) Aborted() bool { return e.aborted }
 // (Config.Faults set) the fault-tolerant loop variants run instead, and the
 // injector's crash/recover windows are scheduled on the kernel.
 func (e *Engine) Start() {
+	e.tel = e.k.Telemetry()
 	t := e.cfg.Tree
 	for _, s := range t.Servers() {
 		n := e.nodes[s]

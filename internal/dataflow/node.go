@@ -6,6 +6,7 @@ import (
 	"wadc/internal/netmodel"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
+	"wadc/internal/telemetry"
 	"wadc/internal/workload"
 )
 
@@ -223,6 +224,17 @@ func (n *node) moveTo(p *sim.Proc, target netmodel.HostID, extraBytes int64, bar
 	e.res.MoveLog = append(e.res.MoveLog, MoveRecord{
 		At: e.k.Now(), Op: n.id, From: oldHost, To: target, Barrier: barrier,
 	})
+	if e.tel != nil {
+		cause := "policy"
+		if barrier {
+			cause = "barrier"
+		}
+		e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindRelocationCommitted,
+			Node: int32(n.id), Host: int32(oldHost), Peer: int32(target),
+			Bytes: e.cfg.StateBytes + extraBytes, Aux: cause,
+		})
+	}
 }
 
 // spawnForwarder drains messages arriving at a vacated mailbox and re-sends
@@ -240,6 +252,13 @@ func (e *Engine) spawnForwarder(n *node, oldHost netmodel.HostID, mb *sim.Mailbo
 			}
 			e.res.Forwarded++
 			cur := n.address()
+			if e.tel != nil {
+				e.k.Emit(telemetry.Event{
+					Kind: telemetry.KindForwarderBounce,
+					Node: int32(n.id), Host: int32(oldHost), Peer: int32(cur.host),
+					Bytes: msg.Size,
+				})
+			}
 			e.cfg.Net.Send(p, &netmodel.Message{
 				Src: oldHost, Dst: cur.host, Port: cur.port,
 				Size: msg.Size, Prio: msg.Prio, Payload: msg.Payload,
@@ -259,6 +278,13 @@ func (n *node) sendData(p *sim.Proc, demand *envelope) {
 			Iter: n.held.iter, From: n.id, To: demand.from,
 			FromHost: n.host, ToHost: demand.fromAddr.host,
 			Bytes: n.held.bytes, At: n.e.k.Now(),
+		})
+	}
+	if n.e.tel != nil {
+		n.e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindDataServed,
+			Node: int32(n.id), Host: int32(n.host), Peer: int32(demand.fromAddr.host),
+			Iter: int32(n.held.iter), Bytes: n.held.bytes,
 		})
 	}
 	env := &envelope{kind: kindData, iter: n.held.iter, bytes: n.held.bytes}
@@ -284,6 +310,13 @@ func (n *node) produce(p *sim.Proc, it int) {
 			prop:             prop,
 		}
 		n.lateMark[c] = false
+		if n.e.tel != nil {
+			n.e.k.Emit(telemetry.Event{
+				Kind: telemetry.KindDemandSent,
+				Node: int32(c), Host: int32(n.host), Peer: int32(n.neighbor[c].host),
+				Iter: int32(it),
+			})
+		}
 		n.send(p, n.neighbor[c], env, n.e.cfg.ControlBytes, sim.PriorityControl)
 	}
 	var sizes []int64
@@ -309,6 +342,13 @@ func (n *node) produce(p *sim.Proc, it int) {
 	dur := workload.ComposeDuration(sizes[0], sizes[1], n.e.cfg.ComposePerPixel)
 	n.e.cfg.Net.Host(n.host).Compute(p, dur)
 	n.held = &heldData{iter: it, bytes: workload.ComposeBytes(sizes[0], sizes[1])}
+	if n.e.tel != nil {
+		n.e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindOperatorFired,
+			Node: int32(n.id), Host: int32(n.host),
+			Iter: int32(it), Bytes: n.held.bytes, Dur: int64(dur),
+		})
+	}
 }
 
 // operatorLoop is an operator's lifetime: serve each iteration's demand from
@@ -405,6 +445,13 @@ func (n *node) clientLoop(p *sim.Proc) {
 			consumerCritical: true, // the root is critical by definition
 			prop:             prop,
 		}
+		if e.tel != nil {
+			e.k.Emit(telemetry.Event{
+				Kind: telemetry.KindDemandSent,
+				Node: int32(root), Host: int32(n.host), Peer: int32(n.neighbor[root].host),
+				Iter: int32(it),
+			})
+		}
 		n.send(p, n.neighbor[root], env, e.cfg.ControlBytes, sim.PriorityControl)
 		for {
 			got := n.nextEnvelope(p)
@@ -476,6 +523,12 @@ func (n *node) handleIterReport(p *sim.Proc, env *envelope) {
 // barrier priority and retires the active change-over.
 func (n *node) broadcastOrder(p *sim.Proc, order *switchOrder) {
 	e := n.e
+	if e.tel != nil {
+		e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindBarrierEpoch,
+			Node: int32(order.id), Iter: int32(order.iter), Host: int32(n.host),
+		})
+	}
 	targets := append(e.cfg.Tree.Servers(), e.cfg.Tree.Operators()...)
 	for _, id := range targets {
 		dst := e.nodes[id].address()

@@ -59,6 +59,7 @@ import (
 	"wadc/internal/netmodel"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
+	"wadc/internal/telemetry"
 	"wadc/internal/workload"
 )
 
@@ -129,6 +130,9 @@ func (e *Engine) abort() {
 		return
 	}
 	e.aborted = true
+	if e.tel != nil {
+		e.k.Emit(telemetry.Event{Kind: telemetry.KindRunAborted})
+	}
 	for i := 0; i < e.cfg.Tree.NumNodes(); i++ {
 		n := e.nodes[plan.NodeID(i)]
 		if n.fetch != nil && n.fetch.timer != nil {
@@ -201,6 +205,12 @@ func (n *node) reinstantiate(c plan.NodeID, startIter int) {
 	n.neighbor[c] = child.address()
 	e.vectors(n.host).recordMove(c, n.host)
 	e.res.Reinstantiations++
+	if e.tel != nil {
+		e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindReinstantiated,
+			Node: int32(c), Host: int32(n.host), Iter: int32(startIter),
+		})
+	}
 	child.proc = e.k.Spawn(fmt.Sprintf("op%d.%d", c, child.moveSeq),
 		func(p *sim.Proc) { child.resilientOperatorLoop(p) })
 }
@@ -210,6 +220,13 @@ func (n *node) reinstantiate(c plan.NodeID, startIter int) {
 func (n *node) demandChild(p *sim.Proc, c plan.NodeID, f *fetchState, markLater bool) {
 	if !n.e.nodes[c].alive {
 		n.reinstantiate(c, f.iter)
+	}
+	if n.e.tel != nil {
+		n.e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindDemandSent,
+			Node: int32(c), Host: int32(n.host), Peer: int32(n.neighbor[c].host),
+			Iter: int32(f.iter),
+		})
 	}
 	env := &envelope{
 		kind: kindDemand, iter: f.iter,
@@ -249,6 +266,13 @@ func (n *node) maybeRetry(p *sim.Proc, env *envelope) {
 		return
 	}
 	n.e.res.Retries++
+	if n.e.tel != nil {
+		n.e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindRetryScheduled,
+			Node: int32(n.id), Host: int32(n.host),
+			Iter: int32(f.iter), Value: float64(f.attempt),
+		})
+	}
 	for _, c := range f.targets {
 		if _, ok := f.got[c]; ok {
 			continue
@@ -330,6 +354,12 @@ func (n *node) maybeCancelSwitch(p *sim.Proc, f *fetchState) {
 		iter:      iter + e.cfg.Tree.Depth() + 1,
 		placement: e.CurrentPlacement(),
 	}
+	if e.tel != nil {
+		e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindBarrierCancelled,
+			Node: int32(order.id), Iter: int32(order.iter),
+		})
+	}
 	n.broadcastOrder(p, order)
 }
 
@@ -353,6 +383,13 @@ func (n *node) resilientProduce(p *sim.Proc, it int) {
 	dur := workload.ComposeDuration(sizes[0], sizes[1], e.cfg.ComposePerPixel)
 	e.cfg.Net.Host(n.host).Compute(p, dur)
 	n.held = &heldData{iter: it, bytes: workload.ComposeBytes(sizes[0], sizes[1])}
+	if e.tel != nil {
+		e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindOperatorFired,
+			Node: int32(n.id), Host: int32(n.host),
+			Iter: int32(it), Bytes: n.held.bytes, Dur: int64(dur),
+		})
+	}
 }
 
 // reServe answers a duplicate or stale demand from the last served output, if

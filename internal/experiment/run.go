@@ -3,6 +3,8 @@ package experiment
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"wadc/internal/core"
 	"wadc/internal/faults"
 	"wadc/internal/placement"
+	"wadc/internal/telemetry"
 	"wadc/internal/trace"
 	"wadc/internal/workload"
 )
@@ -37,6 +40,11 @@ type Options struct {
 	// the sweep (zero disables it). Each run derives its own fault seed from
 	// its run seed, so configurations fail differently but reproducibly.
 	Faults faults.Config
+	// TelemetryDir, when set, writes per-cell telemetry into the directory
+	// (created if missing): c<config>_<alg>.events.jsonl with the cell's
+	// model-level event log and c<config>_<alg>.metrics.csv with its metric
+	// snapshot. Empty disables telemetry entirely.
+	TelemetryDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -151,6 +159,11 @@ func RunSweep(o Options, shape core.TreeShape, algs []AlgSpec, pool *trace.Pool)
 	if pool == nil {
 		pool = trace.NewStudyPool(o.Seed)
 	}
+	if o.TelemetryDir != "" {
+		if err := os.MkdirAll(o.TelemetryDir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiment: creating telemetry dir: %w", err)
+		}
+	}
 	assignments := GenerateAssignments(pool, o.Configs, o.Servers, o.Seed)
 
 	type job struct {
@@ -176,18 +189,32 @@ func RunSweep(o Options, shape core.TreeShape, algs []AlgSpec, pool *trace.Pool)
 			defer func() { <-sem }()
 			a := algs[j.alg]
 			seed := runSeed(o.Seed, j.cfg)
+			var rec *telemetry.Recorder
+			var sink telemetry.Sink
+			if o.TelemetryDir != "" {
+				rec = &telemetry.Recorder{}
+				sink = telemetry.ModelOnly(rec)
+			}
 			res, err := core.Run(core.RunConfig{
-				Seed:       seed,
-				NumServers: o.Servers,
-				Shape:      shape,
-				Links:      assignments[j.cfg].LinkFn(),
-				Policy:     a.New(o, seed),
-				Workload:   o.workloadConfig(),
-				Faults:     o.Faults,
+				Seed:           seed,
+				NumServers:     o.Servers,
+				Shape:          shape,
+				Links:          assignments[j.cfg].LinkFn(),
+				Policy:         a.New(o, seed),
+				Workload:       o.workloadConfig(),
+				Faults:         o.Faults,
+				Telemetry:      sink,
+				CollectMetrics: o.TelemetryDir != "",
 			})
 			if err != nil {
 				errs[i] = fmt.Errorf("config %d, %s: %w", j.cfg, a.Name, err)
 				return
+			}
+			if o.TelemetryDir != "" {
+				if err := writeCellTelemetry(o.TelemetryDir, j.cfg, a.Name, rec, res.Metrics); err != nil {
+					errs[i] = fmt.Errorf("config %d, %s: %w", j.cfg, a.Name, err)
+					return
+				}
 			}
 			results[i] = Cell{
 				Config:           j.cfg,
@@ -219,4 +246,32 @@ func RunSweep(o Options, shape core.TreeShape, algs []AlgSpec, pool *trace.Pool)
 		sweep.Cells[name] = append(sweep.Cells[name], results[i])
 	}
 	return sweep, nil
+}
+
+// writeCellTelemetry dumps one cell's event log and metric snapshot into dir.
+func writeCellTelemetry(dir string, config int, alg string, rec *telemetry.Recorder, snap *telemetry.Snapshot) error {
+	base := fmt.Sprintf("c%03d_%s", config, alg)
+	ef, err := os.Create(filepath.Join(dir, base+".events.jsonl"))
+	if err != nil {
+		return fmt.Errorf("creating event log: %w", err)
+	}
+	if err := telemetry.WriteJSONL(ef, rec.Events()); err != nil {
+		ef.Close()
+		return err
+	}
+	if err := ef.Close(); err != nil {
+		return fmt.Errorf("closing event log: %w", err)
+	}
+	mf, err := os.Create(filepath.Join(dir, base+".metrics.csv"))
+	if err != nil {
+		return fmt.Errorf("creating metrics file: %w", err)
+	}
+	if err := telemetry.WriteMetricsCSV(mf, snap); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return fmt.Errorf("closing metrics file: %w", err)
+	}
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"wadc/internal/netmodel"
 	"wadc/internal/sim"
+	"wadc/internal/telemetry"
 )
 
 // Injector imposes a Plan on a running simulation. It implements
@@ -83,12 +84,24 @@ func (in *Injector) Schedule(k *sim.Kernel, onCrash, onRecover func(h netmodel.H
 		k.At(w.At, func() {
 			in.down[w.Host] = true
 			in.crashFired++
+			if k.Telemetry() != nil {
+				k.Emit(telemetry.Event{
+					Kind: telemetry.KindCrashFired,
+					Host: int32(w.Host), Dur: int64(w.RecoverAt - w.At),
+				})
+			}
 			if onCrash != nil {
 				onCrash(w.Host)
 			}
 		})
 		k.At(w.RecoverAt, func() {
 			in.down[w.Host] = false
+			if k.Telemetry() != nil {
+				k.Emit(telemetry.Event{
+					Kind: telemetry.KindHostRecovered,
+					Host: int32(w.Host),
+				})
+			}
 			if onRecover != nil {
 				onRecover(w.Host)
 			}

@@ -15,6 +15,7 @@ import (
 
 	"wadc/internal/netmodel"
 	"wadc/internal/sim"
+	"wadc/internal/telemetry"
 	"wadc/internal/trace"
 )
 
@@ -270,6 +271,13 @@ func (s *System) AfterDeliver(msg *netmodel.Message, linkDuration time.Duration)
 			s.Cache(msg.Src).Record(msg.Src, msg.Dst, bw, now)
 			s.Cache(msg.Dst).Record(msg.Src, msg.Dst, bw, now)
 			s.passiveMeas++
+			if k := s.net.Kernel(); k.Telemetry() != nil {
+				k.Emit(telemetry.Event{
+					Kind: telemetry.KindPassiveMeasured,
+					Host: int32(msg.Src), Peer: int32(msg.Dst),
+					Bytes: msg.Size, Value: float64(bw),
+				})
+			}
 		}
 	}
 	if entries, ok := msg.Piggyback.([]Entry); ok {
@@ -282,6 +290,18 @@ func (s *System) AfterDeliver(msg *netmodel.Message, linkDuration time.Duration)
 // and returns it. Cost depends on the configured ProbeMode.
 func (s *System) Probe(p *sim.Proc, viewer, a, b netmodel.HostID) trace.Bandwidth {
 	s.probes++
+	bw := s.doProbe(p, viewer, a, b)
+	if k := s.net.Kernel(); k.Telemetry() != nil {
+		k.Emit(telemetry.Event{
+			Kind: telemetry.KindProbeIssued,
+			Host: int32(a), Peer: int32(b), Node: int32(viewer),
+			Value: float64(bw),
+		})
+	}
+	return bw
+}
+
+func (s *System) doProbe(p *sim.Proc, viewer, a, b netmodel.HostID) trace.Bandwidth {
 	if s.cfg.ProbeMode == ProbeNetwork {
 		return s.networkProbe(p, viewer, a, b)
 	}

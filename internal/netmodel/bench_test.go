@@ -1,0 +1,48 @@
+package netmodel
+
+import (
+	"testing"
+
+	"wadc/internal/sim"
+	"wadc/internal/telemetry"
+	"wadc/internal/trace"
+)
+
+type nullSink struct{}
+
+func (nullSink) Emit(telemetry.Event) {}
+
+// benchTransfers pushes b.N back-to-back 16 KB messages through a constant
+// 1 MB/s link: NIC acquisition, bandwidth integration, delivery, and
+// accounting are all on this path.
+func benchTransfers(b *testing.B, opts ...sim.Option) {
+	b.ReportAllocs()
+	k := sim.NewKernel(opts...)
+	n := NewNetwork(k)
+	src := n.AddHost("src")
+	dst := n.AddHost("dst")
+	n.SetLink(src.ID(), dst.ID(), trace.Constant("link", 1024*1024))
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			n.Send(p, &Message{Src: src.ID(), Dst: dst.ID(), Port: "data", Size: 16 * 1024, Prio: sim.PriorityData})
+		}
+	})
+	k.Spawn("recv", func(p *sim.Proc) {
+		port := dst.Port("data")
+		for i := 0; i < b.N; i++ {
+			port.Recv(p)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+}
+
+func BenchmarkNetTransfer(b *testing.B) {
+	benchTransfers(b)
+}
+
+func BenchmarkNetTransferTelemetry(b *testing.B) {
+	benchTransfers(b, sim.WithTelemetry(nullSink{}))
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"wadc/internal/sim"
+	"wadc/internal/telemetry"
 	"wadc/internal/trace"
 )
 
@@ -331,6 +332,13 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 	second.nic.Acquire(p, prio)
 	heldSecond = true
 
+	if tel := n.k.Telemetry(); tel != nil {
+		n.k.Emit(telemetry.Event{
+			Kind: telemetry.KindTransferStart,
+			Host: int32(msg.Src), Peer: int32(msg.Dst),
+			Bytes: msg.Size, Prio: int8(msg.Prio), Name: msg.Port,
+		})
+	}
 	for _, o := range n.observers {
 		o.BeforeSend(msg)
 	}
@@ -350,6 +358,13 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 			heldFirst = false
 			first.nic.Release()
 			n.cut++
+			if tel := n.k.Telemetry(); tel != nil {
+				n.k.Emit(telemetry.Event{
+					Kind: telemetry.KindTransferCut,
+					Host: int32(msg.Src), Peer: int32(msg.Dst),
+					Bytes: msg.Size, Prio: int8(msg.Prio), Name: msg.Port,
+				})
+			}
 			return
 		}
 	}
@@ -366,6 +381,15 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 	if msg.Prio > sim.PriorityData {
 		n.controlSends++
 	}
+	if tel := n.k.Telemetry(); tel != nil {
+		n.k.Emit(telemetry.Event{
+			Kind: telemetry.KindTransferEnd,
+			Host: int32(msg.Src), Peer: int32(msg.Dst),
+			Bytes: msg.Size, Prio: int8(msg.Prio), Name: msg.Port,
+			Dur:   int64(dur),
+			Value: float64(n.MeasuredBandwidth(msg.Size, dur)),
+		})
+	}
 	for _, o := range n.observers {
 		o.AfterDeliver(msg, dur)
 	}
@@ -373,18 +397,39 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 		if n.faults.HostDown(msg.Dst) {
 			// The destination crashed while the message was on the wire.
 			n.dropped++
+			n.emitDrop(msg, "host-down")
 			return
 		}
 		switch n.faults.Fate(msg.Src, msg.Dst) {
 		case FateDrop:
 			n.dropped++
+			n.emitDrop(msg, "drop")
 			return
 		case FateDuplicate:
 			n.duplicated++
+			if tel := n.k.Telemetry(); tel != nil {
+				n.k.Emit(telemetry.Event{
+					Kind: telemetry.KindMessageDuplicated,
+					Host: int32(msg.Src), Peer: int32(msg.Dst),
+					Bytes: msg.Size, Name: msg.Port,
+				})
+			}
 			n.deliver(msg, prio)
 		}
 	}
 	n.deliver(msg, prio)
+}
+
+// emitDrop reports a lost message (fault fate or crashed destination).
+func (n *Network) emitDrop(msg *Message, cause string) {
+	if n.k.Telemetry() == nil {
+		return
+	}
+	n.k.Emit(telemetry.Event{
+		Kind: telemetry.KindMessageDropped,
+		Host: int32(msg.Src), Peer: int32(msg.Dst),
+		Bytes: msg.Size, Name: msg.Port, Aux: cause,
+	})
 }
 
 func (n *Network) deliver(msg *Message, prio sim.Priority) {

@@ -6,6 +6,7 @@ import (
 	"wadc/internal/dataflow"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
+	"wadc/internal/telemetry"
 )
 
 // Global is the on-line centralised policy (§2.2): the client periodically
@@ -59,6 +60,12 @@ func (g *Global) Attach(x *Instance, e *dataflow.Engine) {
 			}
 			if !next.Equal(cur) && e.ProposeSwitch(next) {
 				g.proposals++
+				if k := e.Kernel(); k.Telemetry() != nil {
+					k.Emit(telemetry.Event{
+						Kind: telemetry.KindRelocationProposed,
+						Aux:  "global",
+					})
+				}
 			}
 		}
 	})

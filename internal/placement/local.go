@@ -8,6 +8,7 @@ import (
 	"wadc/internal/netmodel"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
+	"wadc/internal/telemetry"
 )
 
 // Local is the fully distributed on-line policy (§2.3). Each operator, from
@@ -145,6 +146,13 @@ func (l *Local) actAtEpochEnd(p *sim.Proc, x *Instance, e *dataflow.Engine, op p
 		return 0, false
 	}
 	l.moves++
+	if k := e.Kernel(); k.Telemetry() != nil {
+		k.Emit(telemetry.Event{
+			Kind: telemetry.KindRelocationProposed,
+			Node: int32(op), Host: int32(cur), Peer: int32(best),
+			Aux: "local",
+		})
+	}
 	return best, true
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"wadc/internal/telemetry"
 )
 
 // ErrStopped is returned by Run when the simulation was halted by Stop
@@ -17,7 +19,9 @@ var errKilled = errors.New("sim: process killed")
 
 // Tracer receives a line for every significant kernel action when tracing is
 // enabled. It exists for debugging and for determinism tests (identical seeds
-// must produce identical traces).
+// must produce identical traces). Since the structured telemetry stream was
+// introduced, Tracer is a thin adapter over it: WithTracer installs a sink
+// that formats kernel-level events back into the legacy printf lines.
 type Tracer func(at Time, format string, args ...any)
 
 // Option configures a Kernel.
@@ -29,10 +33,44 @@ func WithSeed(seed int64) Option {
 	return func(k *Kernel) { k.rng = rand.New(rand.NewSource(seed)) }
 }
 
-// WithTracer installs a tracer invoked on every process wake, hold, send and
-// receive. Tracing is off by default.
+// WithTracer installs a tracer invoked on every process hold, kill, mailbox
+// send/receive and resource wait/grant. Tracing is off by default. The tracer
+// rides the structured telemetry stream as one more sink, so installing it
+// alongside WithTelemetry changes nothing about either one's output.
 func WithTracer(t Tracer) Option {
-	return func(k *Kernel) { k.tracer = t }
+	return func(k *Kernel) { k.AddSink(tracerSink{t}) }
+}
+
+// WithTelemetry installs a structured-event sink. Multiple sinks (including
+// the Tracer adapter) accumulate into a fan-out in installation order.
+// Telemetry is off by default, and the disabled path costs zero allocations:
+// every emission site guards on the nil sink before building its event.
+func WithTelemetry(s telemetry.Sink) Option {
+	return func(k *Kernel) { k.AddSink(s) }
+}
+
+// tracerSink adapts the legacy printf Tracer onto the structured event
+// stream, reproducing the historical trace lines byte-for-byte. Model-level
+// events (which did not exist in the printf era) are ignored, keeping legacy
+// trace digests comparable across telemetry-on and telemetry-off runs.
+type tracerSink struct{ t Tracer }
+
+func (s tracerSink) Emit(ev telemetry.Event) {
+	at := Time(ev.At)
+	switch ev.Kind {
+	case telemetry.KindProcHold:
+		s.t(at, "%s hold %v", ev.Name, time.Duration(ev.Dur))
+	case telemetry.KindProcKilled:
+		s.t(at, "kill %s", ev.Name)
+	case telemetry.KindMailboxSend:
+		s.t(at, "mailbox %s send prio=%v", ev.Name, Priority(ev.Prio))
+	case telemetry.KindMailboxRecv:
+		s.t(at, "mailbox %s recv prio=%v", ev.Name, Priority(ev.Prio))
+	case telemetry.KindResourceWait:
+		s.t(at, "resource %s wait %s prio=%v", ev.Name, ev.Aux, Priority(ev.Prio))
+	case telemetry.KindResourceGrant:
+		s.t(at, "resource %s grant %s", ev.Name, ev.Aux)
+	}
 }
 
 // Kernel is a deterministic discrete-event scheduler. It owns simulated time,
@@ -47,7 +85,7 @@ type Kernel struct {
 	events eventQueue
 	procs  []*Proc
 	rng    *rand.Rand
-	tracer Tracer
+	tel    telemetry.Sink
 
 	// yield is the control-transfer channel: whichever process goroutine is
 	// running hands control back to the scheduler by sending on it.
@@ -79,11 +117,36 @@ func (k *Kernel) Now() Time { return k.now }
 // that simulations replay identically.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
-// trace emits a trace line if tracing is enabled.
-func (k *Kernel) trace(format string, args ...any) {
-	if k.tracer != nil {
-		k.tracer(k.now, format, args...)
+// AddSink appends a telemetry sink to the kernel's fan-out. Normally sinks
+// are installed via WithTelemetry/WithTracer at construction; AddSink exists
+// so higher layers (e.g. the run harness) can attach sinks after building the
+// kernel but before the simulation starts.
+func (k *Kernel) AddSink(s telemetry.Sink) {
+	if s == nil {
+		return
 	}
+	if k.tel == nil {
+		k.tel = s
+		return
+	}
+	k.tel = telemetry.Multi(k.tel, s)
+}
+
+// Telemetry returns the kernel's telemetry sink, or nil when telemetry is
+// disabled. Model layers cache this once and guard their emission sites on
+// the nil check so that disabled telemetry costs no allocations.
+func (k *Kernel) Telemetry() telemetry.Sink { return k.tel }
+
+// Emit stamps ev with the current simulated time and forwards it to the
+// telemetry sink. It is a no-op when telemetry is disabled, but callers on
+// hot paths should still guard on Telemetry() != nil before constructing the
+// event to keep the disabled path allocation-free.
+func (k *Kernel) Emit(ev telemetry.Event) {
+	if k.tel == nil {
+		return
+	}
+	ev.At = int64(k.now)
+	k.tel.Emit(ev)
 }
 
 // schedule inserts an event at absolute time at. Panics if at is in the past:
@@ -210,7 +273,9 @@ func (k *Kernel) Kill(p *Proc) {
 		return
 	}
 	p.doomed = true
-	k.trace("kill %s", p.name)
+	if k.tel != nil {
+		k.Emit(telemetry.Event{Kind: telemetry.KindProcKilled, Name: p.name})
+	}
 	k.schedule(k.now, nil, p)
 }
 

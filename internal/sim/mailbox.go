@@ -1,6 +1,10 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"wadc/internal/telemetry"
+)
 
 // Priority orders competing messages and resource requests. Higher values are
 // served first; ties are FIFO. The three levels mirror the paper's protocol:
@@ -97,7 +101,9 @@ func (m *Mailbox) Len() int { return m.queue.Len() }
 // Send enqueues msg at the given priority and wakes one waiting receiver, if
 // any. It is safe to call from scheduler callbacks as well as processes.
 func (m *Mailbox) Send(msg any, prio Priority) {
-	m.k.trace("mailbox %s send prio=%v", m.name, prio)
+	if m.k.tel != nil {
+		m.k.Emit(telemetry.Event{Kind: telemetry.KindMailboxSend, Name: m.name, Prio: int8(prio)})
+	}
 	heap.Push(&m.queue, &item{value: msg, prio: prio, seq: m.seq})
 	m.seq++
 	m.wakeOne()
@@ -126,7 +132,9 @@ func (m *Mailbox) Recv(p *Proc) any {
 		p.block()
 	}
 	it := heap.Pop(&m.queue).(*item)
-	m.k.trace("mailbox %s recv prio=%v", m.name, it.prio)
+	if m.k.tel != nil {
+		m.k.Emit(telemetry.Event{Kind: telemetry.KindMailboxRecv, Name: m.name, Prio: int8(it.prio)})
+	}
 	// If messages remain and other receivers are waiting, pass the wake on:
 	// Send wakes only one waiter, so without this hand-off a second queued
 	// message could strand a second waiter.

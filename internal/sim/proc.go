@@ -1,6 +1,10 @@
 package sim
 
-import "time"
+import (
+	"time"
+
+	"wadc/internal/telemetry"
+)
 
 // signal is what a blocked process receives when the scheduler resumes it.
 type signal int
@@ -76,7 +80,9 @@ func (p *Proc) Hold(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.trace("%s hold %v", p.name, d)
+	if p.k.tel != nil {
+		p.k.Emit(telemetry.Event{Kind: telemetry.KindProcHold, Name: p.name, Dur: int64(d)})
+	}
 	p.k.schedule(p.k.now.Add(d), nil, p)
 	p.block()
 }

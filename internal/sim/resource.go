@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"wadc/internal/telemetry"
 )
 
 // Resource is a counted facility (CSIM "facility"): at most capacity holders
@@ -68,7 +70,9 @@ func (r *Resource) Acquire(p *Proc, prio Priority) {
 	}
 	heap.Push(&r.queue, &item{value: p, prio: prio, seq: r.seq})
 	r.seq++
-	r.k.trace("resource %s wait %s prio=%v", r.name, p.name, prio)
+	if r.k.tel != nil {
+		r.k.Emit(telemetry.Event{Kind: telemetry.KindResourceWait, Name: r.name, Aux: p.name, Prio: int8(prio)})
+	}
 	p.block()
 	// Our waker granted the unit on our behalf before scheduling the wake.
 }
@@ -105,7 +109,9 @@ func (r *Resource) Release() {
 			continue
 		}
 		r.grant()
-		r.k.trace("resource %s grant %s", r.name, next.name)
+		if r.k.tel != nil {
+			r.k.Emit(telemetry.Event{Kind: telemetry.KindResourceGrant, Name: r.name, Aux: next.name})
+		}
 		r.k.schedule(r.k.now, nil, next)
 		break
 	}

@@ -1,0 +1,68 @@
+package telemetry
+
+import "testing"
+
+func TestCollectorDerivesMetrics(t *testing.T) {
+	c := NewCollector()
+	// Two transfers on the same link (canonical pair ordering must merge the
+	// two directions), one kernel event, some dataflow traffic.
+	c.Emit(Event{Kind: KindProcHold, At: 1})
+	c.Emit(Event{Kind: KindTransferEnd, At: 10, Host: 0, Peer: 2, Bytes: 2048, Dur: 2_000_000_000, Value: 1024})
+	c.Emit(Event{Kind: KindTransferEnd, At: 20, Host: 2, Peer: 0, Bytes: 2048, Dur: 1_000_000_000, Value: 2048})
+	c.Emit(Event{Kind: KindDemandSent, At: 30, Node: 4})
+	c.Emit(Event{Kind: KindDemandSent, At: 31, Node: 5})
+	c.Emit(Event{Kind: KindDataServed, At: 40, Node: 4})
+	c.Emit(Event{Kind: KindCriticalChanged, At: 50, Node: 4, Value: 1})
+	c.Emit(Event{Kind: KindCriticalChanged, At: 51, Node: 4, Value: 1}) // duplicate: no-op
+	c.Emit(Event{Kind: KindCriticalChanged, At: 60, Node: 5, Value: 1})
+	c.Emit(Event{Kind: KindCriticalChanged, At: 70, Node: 4, Value: 0})
+
+	snap := c.Snapshot()
+	wantCounters := map[string]int64{
+		"sim.kernel_events":       1,
+		"sim.model_events":        9,
+		"net.transfers":           2,
+		"net.bytes_moved":         4096,
+		"events.transfer-end":     2,
+		"events.demand-sent":      2,
+		"events.data-served":      1,
+		"events.critical-changed": 4,
+		"link.h0-h2.bytes":        4096,
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Gauges["dataflow.queue_depth"]; got != 1 {
+		t.Errorf("queue depth gauge = %v, want 1", got)
+	}
+	if got := snap.Gauges["dataflow.critical_path_len"]; got != 1 {
+		t.Errorf("critical path gauge = %v, want 1", got)
+	}
+	h := snap.Histograms["net.transfer_ms"]
+	if h.Count != 2 || h.Sum != 3000 {
+		t.Errorf("transfer_ms count=%d sum=%v, want 2/3000", h.Count, h.Sum)
+	}
+	bw := snap.Series["link.h0-h2.kbps"]
+	if len(bw.T) != 2 || bw.V[0] != 1 || bw.V[1] != 2 {
+		t.Errorf("link bw series = %+v, want values [1 2] KB/s", bw)
+	}
+	depth := snap.Series["op.n4.queue_depth"]
+	if len(depth.T) != 2 || depth.V[0] != 1 || depth.V[1] != 0 {
+		t.Errorf("op n4 depth series = %+v, want [1 0]", depth)
+	}
+	crit := snap.Series["dataflow.critical_path_len"]
+	if len(crit.T) != 3 || crit.V[0] != 1 || crit.V[1] != 2 || crit.V[2] != 1 {
+		t.Errorf("critical path series = %+v, want [1 2 1]", crit)
+	}
+}
+
+func TestCollectorDataServedUnderflowClamped(t *testing.T) {
+	c := NewCollector()
+	c.Emit(Event{Kind: KindDataServed, At: 1, Node: 3}) // served with no demand outstanding
+	snap := c.Snapshot()
+	if got := snap.Gauges["dataflow.queue_depth"]; got != 0 {
+		t.Errorf("queue depth went negative: %v", got)
+	}
+}

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteMetricsCSV dumps a metrics snapshot as one flat CSV table with the
+// columns (type, name, key, value), in deterministic sorted order:
+//
+//   - counters:   counter,<name>,,<value>
+//   - gauges:     gauge,<name>,,<value>
+//   - histograms: hist,<name>,le_<bound>,<count> … plus hist,<name>,count,…
+//     and hist,<name>,sum,…  (the final bucket key is le_inf)
+//   - series:     series,<name>,<t_seconds>,<value> (one row per point)
+//
+// The single-table shape keeps sweep tooling trivial: every metric of every
+// run lands in one schema.
+func WriteMetricsCSV(w io.Writer, snap *Snapshot) error {
+	cw := csv.NewWriter(w)
+	write := func(row ...string) error {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("telemetry: writing metrics CSV: %w", err)
+		}
+		return nil
+	}
+	if err := write("type", "name", "key", "value"); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(snap.Counters) {
+		if err := write("counter", name, "", strconv.FormatInt(snap.Counters[name], 10)); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		if err := write("gauge", name, "", formatFloat(snap.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		for i, c := range h.Counts {
+			key := "le_inf"
+			if i < len(h.Bounds) {
+				key = "le_" + formatFloat(h.Bounds[i])
+			}
+			if err := write("hist", name, key, strconv.FormatInt(c, 10)); err != nil {
+				return err
+			}
+		}
+		if err := write("hist", name, "count", strconv.FormatInt(h.Count, 10)); err != nil {
+			return err
+		}
+		if err := write("hist", name, "sum", formatFloat(h.Sum)); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Series) {
+		s := snap.Series[name]
+		for i := range s.T {
+			t := strconv.FormatFloat(float64(s.T[i])/1e9, 'f', 6, 64)
+			if err := write("series", name, t, formatFloat(s.V[i])); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("telemetry: flushing metrics CSV: %w", err)
+	}
+	return nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

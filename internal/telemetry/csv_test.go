@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteMetricsCSV(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Add(3)
+	reg.Counter("a.count").Add(1)
+	reg.Gauge("depth").Set(2.5)
+	h := reg.Histogram("lat", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	s := reg.Series("bw")
+	s.Sample(1_500_000_000, 42)
+
+	var buf bytes.Buffer
+	if err := WriteMetricsCSV(&buf, reg.Snapshot()); err != nil {
+		t.Fatalf("WriteMetricsCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{
+		"type,name,key,value",
+		"counter,a.count,,1",
+		"counter,b.count,,3",
+		"gauge,depth,,2.5",
+		"hist,lat,le_10,1",
+		"hist,lat,le_100,1",
+		"hist,lat,le_inf,1",
+		"hist,lat,count,3",
+		"hist,lat,sum,555",
+		"series,bw,1.500000,42",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), buf.String())
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}

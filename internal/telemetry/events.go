@@ -1,0 +1,355 @@
+// Package telemetry is the simulator's structured observability layer: a
+// typed event stream emitted by every subsystem (sim kernel, network model,
+// dataflow engine, placement policies, monitor, fault injector) through a
+// pluggable Sink, a per-run metrics registry fed by a Collector sink, and
+// exporters for JSONL event logs, Chrome trace-event/Perfetto timelines and
+// CSV metric series.
+//
+// The package is a leaf: it imports nothing from the rest of the repository,
+// so every layer (including the sim kernel) can emit events without import
+// cycles. Times are raw simulated nanoseconds (the sim package's Time is an
+// int64 of nanoseconds).
+//
+// Telemetry is strictly observational. Sinks must not mutate simulation
+// state, and emitters guard every emission behind a nil-sink check, so a run
+// without telemetry costs zero allocations on the hot paths and a run with
+// telemetry is event-for-event identical to one without (same seed, same
+// kernel event log — see the determinism regression in internal/core).
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Kind discriminates events. Kernel-level kinds (scheduler actions, very high
+// volume) come first so they can be filtered cheaply; model-level kinds
+// describe the wide-area data-combination run itself.
+type Kind uint8
+
+const (
+	// KindNone is the zero Kind; it is never emitted.
+	KindNone Kind = iota
+
+	// Kernel-level events (one per scheduler action; very high volume).
+
+	// KindProcHold: process Name suspends for Dur.
+	KindProcHold
+	// KindProcKilled: process Name is killed (host crash or shutdown).
+	KindProcKilled
+	// KindMailboxSend: a message enqueued on mailbox Name at priority Prio.
+	KindMailboxSend
+	// KindMailboxRecv: a message dequeued from mailbox Name at priority Prio.
+	KindMailboxRecv
+	// KindResourceWait: process Aux queues for resource Name at priority Prio.
+	KindResourceWait
+	// KindResourceGrant: resource Name is granted to process Aux.
+	KindResourceGrant
+
+	// Network events.
+
+	// KindTransferStart: a remote transfer of Bytes begins occupying the
+	// Host<->Peer link (both NICs acquired) at priority Prio.
+	KindTransferStart
+	// KindTransferEnd: the transfer completed after Dur (startup included);
+	// Value is the achieved application-level bandwidth in bytes/s.
+	KindTransferEnd
+	// KindTransferCut: a mid-transfer link blackout aborted the Host->Peer
+	// transfer of Bytes after Dur on the wire.
+	KindTransferCut
+	// KindMessageDropped: the message was lost after the transfer (Aux is
+	// "drop" for a fate draw, "host-down" for a crashed destination).
+	KindMessageDropped
+	// KindMessageDuplicated: the message was delivered twice.
+	KindMessageDuplicated
+
+	// Monitoring events.
+
+	// KindProbeIssued: an on-demand probe of the Host<->Peer link completed;
+	// Node is the viewer host, Value the measured bandwidth in bytes/s.
+	KindProbeIssued
+	// KindPassiveMeasured: a passive measurement of Host<->Peer from a
+	// transfer of Bytes; Value is the bandwidth in bytes/s.
+	KindPassiveMeasured
+
+	// Dataflow events.
+
+	// KindDemandSent: a demand for iteration Iter was sent to producer node
+	// Node (living on Peer) from a consumer on Host.
+	KindDemandSent
+	// KindDataServed: node Node on Host served its Iter output of Bytes to
+	// its consumer on Peer.
+	KindDataServed
+	// KindOperatorFired: operator Node on Host composed its Iter output
+	// (Bytes) after Dur of CPU time.
+	KindOperatorFired
+	// KindRelocationCommitted: operator Node physically moved Host -> Peer
+	// (Aux is "barrier" for a coordinated change-over, "policy" otherwise;
+	// Bytes is held output that travelled with the move).
+	KindRelocationCommitted
+	// KindBarrierEpoch: the client broadcast switch order Node (the proposal
+	// id) taking effect at iteration Iter.
+	KindBarrierEpoch
+	// KindBarrierCancelled: a stuck change-over (proposal Node) was released
+	// with a no-op order at iteration Iter.
+	KindBarrierCancelled
+	// KindForwarderBounce: a forwarder on Host bounced Bytes for relocated
+	// node Node to Peer.
+	KindForwarderBounce
+	// KindRetryScheduled: node Node re-demanded iteration Iter (recovery);
+	// Value is the attempt number.
+	KindRetryScheduled
+	// KindReinstantiated: crashed operator Node was re-created on Host
+	// starting at iteration Iter.
+	KindReinstantiated
+	// KindCriticalChanged: node Node's critical-path belief flipped; Value
+	// is 1 (now critical) or 0.
+	KindCriticalChanged
+	// KindRunAborted: the engine gave up (fault plan made completion
+	// impossible).
+	KindRunAborted
+
+	// Placement events.
+
+	// KindRelocationProposed: a policy (Aux: "global" or "local") proposed
+	// moving operator Node from Host to Peer (global proposals cover the
+	// whole placement and carry only Aux).
+	KindRelocationProposed
+
+	// Fault-injection events.
+
+	// KindCrashFired: host Host went down; Dur is the outage length.
+	KindCrashFired
+	// KindHostRecovered: host Host came back up.
+	KindHostRecovered
+
+	kindCount // sentinel; keep last
+)
+
+var kindNames = [kindCount]string{
+	KindNone:                "none",
+	KindProcHold:            "proc-hold",
+	KindProcKilled:          "proc-killed",
+	KindMailboxSend:         "mailbox-send",
+	KindMailboxRecv:         "mailbox-recv",
+	KindResourceWait:        "resource-wait",
+	KindResourceGrant:       "resource-grant",
+	KindTransferStart:       "transfer-start",
+	KindTransferEnd:         "transfer-end",
+	KindTransferCut:         "transfer-cut",
+	KindMessageDropped:      "message-dropped",
+	KindMessageDuplicated:   "message-duplicated",
+	KindProbeIssued:         "probe-issued",
+	KindPassiveMeasured:     "passive-measured",
+	KindDemandSent:          "demand-sent",
+	KindDataServed:          "data-served",
+	KindOperatorFired:       "operator-fired",
+	KindRelocationCommitted: "relocation-committed",
+	KindBarrierEpoch:        "barrier-epoch",
+	KindBarrierCancelled:    "barrier-cancelled",
+	KindForwarderBounce:     "forwarder-bounce",
+	KindRetryScheduled:      "retry-scheduled",
+	KindReinstantiated:      "reinstantiated",
+	KindCriticalChanged:     "critical-changed",
+	KindRunAborted:          "run-aborted",
+	KindRelocationProposed:  "relocation-proposed",
+	KindCrashFired:          "crash-fired",
+	KindHostRecovered:       "host-recovered",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, kindCount)
+	for k, n := range kindNames {
+		m[n] = Kind(k)
+	}
+	return m
+}()
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// KindFromString is the inverse of String, for decoding event logs.
+func KindFromString(s string) (Kind, bool) {
+	k, ok := kindByName[s]
+	return k, ok
+}
+
+// Kernel reports whether the kind is a scheduler-level event (very high
+// volume; usually filtered out of exported logs).
+func (k Kind) Kernel() bool { return k >= KindProcHold && k <= KindResourceGrant }
+
+// MarshalJSON encodes the kind as its name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a kind name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("telemetry: invalid kind %s", b)
+	}
+	v, ok := KindFromString(string(b[1 : len(b)-1]))
+	if !ok {
+		return fmt.Errorf("telemetry: unknown kind %s", b)
+	}
+	*k = v
+	return nil
+}
+
+// Event is one structured simulation event. It is a flat value type — no
+// pointers, no interfaces — so emitting one allocates nothing. Field meaning
+// depends on Kind (see the Kind constants); unused fields are zero and are
+// omitted from JSON.
+type Event struct {
+	// Kind discriminates the event.
+	Kind Kind `json:"k"`
+	// At is the simulated time in nanoseconds (stamped by the kernel's Emit).
+	At int64 `json:"t"`
+	// Host is the primary host (source of a transfer, crashed host, …).
+	Host int32 `json:"h,omitempty"`
+	// Peer is the secondary host (destination, relocation target, …).
+	Peer int32 `json:"p,omitempty"`
+	// Node is a combination-tree node id (or a proposal id for barriers, or
+	// the viewer host for probes).
+	Node int32 `json:"n,omitempty"`
+	// Iter is the dataflow iteration the event belongs to.
+	Iter int32 `json:"i,omitempty"`
+	// Prio is the message/resource priority.
+	Prio int8 `json:"q,omitempty"`
+	// Bytes is a payload size.
+	Bytes int64 `json:"b,omitempty"`
+	// Dur is a duration in nanoseconds.
+	Dur int64 `json:"d,omitempty"`
+	// Value is a kind-specific measurement (bandwidth, attempt, flag).
+	Value float64 `json:"v,omitempty"`
+	// Name is a kind-specific identifier (process, mailbox, resource).
+	Name string `json:"s,omitempty"`
+	// Aux is a secondary identifier or tag.
+	Aux string `json:"x,omitempty"`
+}
+
+// Sink receives the event stream. Implementations must be purely
+// observational (never mutate simulation state) and need not be goroutine
+// safe: the kernel is single-threaded and each run owns its sinks.
+type Sink interface {
+	Emit(ev Event)
+}
+
+// multi fans an event out to several sinks in order.
+type multi struct{ sinks []Sink }
+
+func (m *multi) Emit(ev Event) {
+	for _, s := range m.sinks {
+		s.Emit(ev)
+	}
+}
+
+// Multi combines sinks into one, dropping nils and flattening nested Multis.
+// It returns nil if every argument is nil.
+func Multi(sinks ...Sink) Sink {
+	var flat []Sink
+	for _, s := range sinks {
+		switch v := s.(type) {
+		case nil:
+			continue
+		case *multi:
+			flat = append(flat, v.sinks...)
+		default:
+			flat = append(flat, s)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	default:
+		return &multi{sinks: flat}
+	}
+}
+
+// filter forwards only events accepted by keep.
+type filter struct {
+	next Sink
+	keep func(Kind) bool
+}
+
+func (f *filter) Emit(ev Event) {
+	if f.keep(ev.Kind) {
+		f.next.Emit(ev)
+	}
+}
+
+// Filter wraps a sink so it only sees events whose kind keep accepts.
+func Filter(next Sink, keep func(Kind) bool) Sink {
+	if next == nil {
+		return nil
+	}
+	return &filter{next: next, keep: keep}
+}
+
+// ModelOnly wraps a sink so it only sees model-level events, dropping the
+// very high-volume kernel scheduler kinds. Exported event logs and timelines
+// are built from this view.
+func ModelOnly(next Sink) Sink {
+	return Filter(next, func(k Kind) bool { return !k.Kernel() })
+}
+
+// Recorder is an in-memory sink, the staging buffer for exporters and the
+// basis of the determinism regression (two same-seed runs must record
+// hash-identical streams).
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Sink.
+func (r *Recorder) Emit(ev Event) { r.events = append(r.events, ev) }
+
+// Events returns the recorded stream (not a copy).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Hash returns the FNV-1a digest of the recorded stream.
+func (r *Recorder) Hash() uint64 { return Hash(r.events) }
+
+// Hash folds an event stream into an FNV-1a digest over a fixed binary
+// encoding, so two runs can be compared event-for-event without holding both
+// logs. The encoding covers every field.
+func Hash(events []Event) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for i := range events {
+		ev := &events[i]
+		w(uint64(ev.Kind))
+		w(uint64(ev.At))
+		w(uint64(int64(ev.Host)))
+		w(uint64(int64(ev.Peer)))
+		w(uint64(int64(ev.Node)))
+		w(uint64(int64(ev.Iter)))
+		w(uint64(int64(ev.Prio)))
+		w(uint64(ev.Bytes))
+		w(uint64(ev.Dur))
+		w(math.Float64bits(ev.Value))
+		h.Write([]byte(ev.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(ev.Aux))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

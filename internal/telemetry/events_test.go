@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := KindNone; k < kindCount; k++ {
+		name := k.String()
+		if name == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		got, ok := KindFromString(name)
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v; want %v", name, got, ok, k)
+		}
+	}
+	if _, ok := KindFromString("no-such-kind"); ok {
+		t.Error("KindFromString accepted an unknown name")
+	}
+}
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for k := KindNone; k < kindCount; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var got Kind
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if got != k {
+			t.Errorf("round trip %v -> %s -> %v", k, b, got)
+		}
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`"bogus"`), &k); err == nil {
+		t.Error("unmarshal accepted an unknown kind")
+	}
+}
+
+func TestKindKernelPartition(t *testing.T) {
+	kernel := map[Kind]bool{
+		KindProcHold: true, KindProcKilled: true,
+		KindMailboxSend: true, KindMailboxRecv: true,
+		KindResourceWait: true, KindResourceGrant: true,
+	}
+	for k := KindNone; k < kindCount; k++ {
+		if k.Kernel() != kernel[k] {
+			t.Errorf("Kernel(%v) = %v, want %v", k, k.Kernel(), kernel[k])
+		}
+	}
+}
+
+func TestMultiFlattensAndDropsNils(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of nils should be nil")
+	}
+	a, b, c := &Recorder{}, &Recorder{}, &Recorder{}
+	if got := Multi(nil, a); got != a {
+		t.Error("Multi with one live sink should return it unwrapped")
+	}
+	m := Multi(Multi(a, b), nil, c)
+	inner, ok := m.(*multi)
+	if !ok || len(inner.sinks) != 3 {
+		t.Fatalf("nested Multi not flattened: %#v", m)
+	}
+	m.Emit(Event{Kind: KindTransferEnd})
+	for i, r := range []*Recorder{a, b, c} {
+		if r.Len() != 1 {
+			t.Errorf("sink %d got %d events, want 1", i, r.Len())
+		}
+	}
+}
+
+func TestModelOnlyDropsKernelKinds(t *testing.T) {
+	r := &Recorder{}
+	s := ModelOnly(r)
+	s.Emit(Event{Kind: KindProcHold})
+	s.Emit(Event{Kind: KindMailboxSend})
+	s.Emit(Event{Kind: KindTransferEnd})
+	s.Emit(Event{Kind: KindDemandSent})
+	if r.Len() != 2 {
+		t.Fatalf("got %d events, want 2", r.Len())
+	}
+	for _, ev := range r.Events() {
+		if ev.Kind.Kernel() {
+			t.Errorf("kernel kind %v leaked through ModelOnly", ev.Kind)
+		}
+	}
+	if ModelOnly(nil) != nil {
+		t.Error("ModelOnly(nil) should be nil")
+	}
+}
+
+func TestHashDistinguishesEveryField(t *testing.T) {
+	base := Event{
+		Kind: KindTransferEnd, At: 1, Host: 2, Peer: 3, Node: 4, Iter: 5,
+		Prio: 1, Bytes: 6, Dur: 7, Value: 8.5, Name: "a", Aux: "b",
+	}
+	h0 := Hash([]Event{base})
+	if h0 != Hash([]Event{base}) {
+		t.Fatal("hash is not deterministic")
+	}
+	mutations := []func(*Event){
+		func(e *Event) { e.Kind = KindTransferStart },
+		func(e *Event) { e.At++ },
+		func(e *Event) { e.Host++ },
+		func(e *Event) { e.Peer++ },
+		func(e *Event) { e.Node++ },
+		func(e *Event) { e.Iter++ },
+		func(e *Event) { e.Prio++ },
+		func(e *Event) { e.Bytes++ },
+		func(e *Event) { e.Dur++ },
+		func(e *Event) { e.Value++ },
+		func(e *Event) { e.Name = "z" },
+		func(e *Event) { e.Aux = "z" },
+	}
+	for i, mut := range mutations {
+		ev := base
+		mut(&ev)
+		if Hash([]Event{ev}) == h0 {
+			t.Errorf("mutation %d did not change the hash", i)
+		}
+	}
+	// The string framing must keep ("ab","") distinct from ("a","b").
+	x := base
+	x.Name, x.Aux = "ab", ""
+	y := base
+	y.Name, y.Aux = "a", "b"
+	if Hash([]Event{x}) == Hash([]Event{y}) {
+		t.Error("string fields are not framed: ab/ collides with a/b")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	if r.Len() != 0 || r.Hash() != Hash(nil) {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.Emit(Event{Kind: KindDemandSent, At: 10})
+	r.Emit(Event{Kind: KindDataServed, At: 20})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Hash() != Hash(r.Events()) {
+		t.Error("Recorder.Hash disagrees with Hash(Events())")
+	}
+}

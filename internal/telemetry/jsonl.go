@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLWriter is a Sink that streams events to w as JSON Lines, one compact
+// object per event. Emit cannot return an error (the Sink contract), so the
+// first write error is latched and reported by Flush; later events are
+// dropped. Wrap it in ModelOnly to keep logs to the model-level stream.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter returns a writer streaming to w. Call Flush when done.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink.
+func (j *JSONLWriter) Emit(ev Event) {
+	if j.err != nil {
+		return
+	}
+	// json.Encoder.Encode appends the trailing newline, giving JSONL framing.
+	j.err = j.enc.Encode(ev)
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (j *JSONLWriter) Flush() error {
+	if j.err != nil {
+		return fmt.Errorf("telemetry: writing JSONL: %w", j.err)
+	}
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("telemetry: flushing JSONL: %w", err)
+	}
+	return nil
+}
+
+// WriteJSONL dumps a recorded event slice as JSON Lines.
+func WriteJSONL(w io.Writer, events []Event) error {
+	jw := NewJSONLWriter(w)
+	for _, ev := range events {
+		jw.Emit(ev)
+	}
+	return jw.Flush()
+}
+
+// ReadJSONL decodes a JSON Lines event log (the inverse of WriteJSONL /
+// JSONLWriter), for analysis tooling and round-trip tests.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: JSONL line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading JSONL: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindTransferStart, At: 1000, Host: 0, Peer: 3, Bytes: 1280, Prio: 1, Name: "comb"},
+		{Kind: KindTransferEnd, At: 2_500_000_000, Host: 0, Peer: 3, Bytes: 1280, Prio: 1, Dur: 1_000_000_000, Value: 1280, Name: "comb"},
+		{Kind: KindDemandSent, At: 3_000_000_000, Host: 4, Peer: 2, Node: 6, Iter: 7},
+		{Kind: KindRelocationCommitted, At: 4_000_000_000, Node: 5, Host: 1, Peer: 2, Bytes: 4096, Aux: "barrier"},
+		{Kind: KindCrashFired, At: 5_000_000_000, Host: 2, Dur: 90_000_000_000},
+		{Kind: KindCriticalChanged, At: 6_000_000_000, Node: 4, Value: 1},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(events) {
+		t.Errorf("wrote %d lines, want %d", got, len(events))
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(back, events) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", back, events)
+	}
+	if Hash(back) != Hash(events) {
+		t.Error("round-trip hash diverged")
+	}
+}
+
+func TestJSONLWriterSink(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	for _, ev := range events {
+		w.Emit(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("got %d events, want %d", len(back), len(events))
+	}
+}
+
+func TestReadJSONLSkipsBlanksAndReportsErrors(t *testing.T) {
+	in := "{\"k\":\"demand-sent\",\"t\":1}\n\n{\"k\":\"data-served\",\"t\":2}\n"
+	back, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("got %d events, want 2", len(back))
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage line did not error")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{\"k\":\"bogus-kind\",\"t\":1}\n")); err == nil {
+		t.Error("unknown kind did not error")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("short write")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestJSONLWriterLatchesError(t *testing.T) {
+	w := NewJSONLWriter(&failWriter{n: 8})
+	// Enough events to overflow the 8-byte budget through the bufio layer.
+	for i := 0; i < 100000; i++ {
+		w.Emit(Event{Kind: KindDemandSent, At: int64(i)})
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("Flush reported no error after a failed write")
+	}
+}

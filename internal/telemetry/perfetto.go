@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Perfetto / Chrome trace-event export: one track ("process") per simulated
+// host, one row ("thread") per peer link plus one per operator incarnation,
+// transfer and compose spans as complete events, relocations / barriers /
+// crashes as instants, and global counter tracks for queue depth and
+// critical-path length. The output is the JSON object form of the trace
+// event format, which https://ui.perfetto.dev opens directly.
+
+// traceEvent is one entry of the Chrome trace event format.
+type traceEvent struct {
+	Name  string         `json:"name,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object form of the trace-event format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Thread-row id layout inside a host track: row 0 is the host's event lane,
+// rows 1+h are per-peer transfer lanes, rows opRowBase+n are operator lanes.
+const opRowBase = 1000
+
+// runTrackName labels the synthetic process that carries run-global counter
+// tracks (queue depth, critical-path length) and barrier instants.
+const runTrackName = "run"
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WritePerfetto converts a recorded (model-level) event stream into a
+// Perfetto-loadable trace. hostNames[i] names host i's track; events on hosts
+// beyond the slice get a generated name. The output is deterministic for a
+// given input (golden-file tested).
+func WritePerfetto(w io.Writer, events []Event, hostNames []string) error {
+	b := &perfettoBuilder{
+		hostNames:  hostNames,
+		hostSeen:   make(map[int]bool),
+		threadSeen: make(map[[2]int]bool),
+	}
+	// The run-global track sits after every real host so host tracks sort
+	// first in the UI.
+	b.runPid = len(hostNames)
+	for _, ev := range events {
+		b.add(ev)
+	}
+	out := traceFile{TraceEvents: append(b.meta, b.events...), DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("telemetry: encoding Perfetto trace: %w", err)
+	}
+	return nil
+}
+
+type perfettoBuilder struct {
+	hostNames  []string
+	runPid     int
+	hostSeen   map[int]bool
+	threadSeen map[[2]int]bool
+	meta       []traceEvent // process/thread naming, emitted first
+	events     []traceEvent
+
+	queueDepth  int64
+	criticalLen int64
+	critical    map[int32]bool
+}
+
+func (b *perfettoBuilder) hostName(h int) string {
+	if h >= 0 && h < len(b.hostNames) {
+		return b.hostNames[h]
+	}
+	if h == b.runPid {
+		return runTrackName
+	}
+	return fmt.Sprintf("h%d", h)
+}
+
+// touchHost lazily emits the process-naming metadata for a host track.
+func (b *perfettoBuilder) touchHost(h int) {
+	if b.hostSeen[h] {
+		return
+	}
+	b.hostSeen[h] = true
+	b.meta = append(b.meta,
+		traceEvent{Name: "process_name", Ph: "M", Pid: h, Args: map[string]any{"name": b.hostName(h)}},
+		traceEvent{Name: "process_sort_index", Ph: "M", Pid: h, Args: map[string]any{"sort_index": h}},
+	)
+}
+
+// touchThread lazily emits the thread-naming metadata for a row in a host
+// track.
+func (b *perfettoBuilder) touchThread(pid, tid int, name string) {
+	k := [2]int{pid, tid}
+	if b.threadSeen[k] {
+		return
+	}
+	b.threadSeen[k] = true
+	b.meta = append(b.meta,
+		traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}},
+		traceEvent{Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"sort_index": tid}},
+	)
+}
+
+func (b *perfettoBuilder) instant(ev Event, pid, tid int, name, scope string, args map[string]any) {
+	b.touchHost(pid)
+	b.events = append(b.events, traceEvent{
+		Name: name, Cat: ev.Kind.String(), Ph: "i", Ts: usec(ev.At),
+		Pid: pid, Tid: tid, Scope: scope, Args: args,
+	})
+}
+
+func (b *perfettoBuilder) counter(at int64, name string, value int64) {
+	b.touchHost(b.runPid)
+	b.events = append(b.events, traceEvent{
+		Name: name, Ph: "C", Ts: usec(at), Pid: b.runPid,
+		Args: map[string]any{"value": value},
+	})
+}
+
+func (b *perfettoBuilder) add(ev Event) {
+	switch ev.Kind {
+	case KindTransferEnd:
+		// A transfer span on the source host, one lane per destination.
+		src, dst := int(ev.Host), int(ev.Peer)
+		b.touchHost(src)
+		b.touchThread(src, 1+dst, "to "+b.hostName(dst))
+		b.events = append(b.events, traceEvent{
+			Name: fmt.Sprintf("xfer %dB to %s", ev.Bytes, b.hostName(dst)),
+			Cat:  "net", Ph: "X",
+			Ts: usec(ev.At - ev.Dur), Dur: usec(ev.Dur),
+			Pid: src, Tid: 1 + dst,
+			Args: map[string]any{"bytes": ev.Bytes, "prio": int(ev.Prio), "bw_bps": ev.Value},
+		})
+	case KindTransferCut:
+		b.instant(ev, int(ev.Host), 1+int(ev.Peer), fmt.Sprintf("cut to %s", b.hostName(int(ev.Peer))), "p",
+			map[string]any{"bytes": ev.Bytes})
+	case KindOperatorFired:
+		pid := int(ev.Host)
+		tid := opRowBase + int(ev.Node)
+		b.touchHost(pid)
+		b.touchThread(pid, tid, fmt.Sprintf("op%d", ev.Node))
+		b.events = append(b.events, traceEvent{
+			Name: fmt.Sprintf("compose it%d", ev.Iter),
+			Cat:  "dataflow", Ph: "X",
+			Ts: usec(ev.At - ev.Dur), Dur: usec(ev.Dur),
+			Pid: pid, Tid: tid,
+			Args: map[string]any{"bytes": ev.Bytes, "iter": ev.Iter},
+		})
+	case KindRelocationCommitted:
+		b.instant(ev, int(ev.Host), 0,
+			fmt.Sprintf("op%d move %s→%s", ev.Node, b.hostName(int(ev.Host)), b.hostName(int(ev.Peer))),
+			"g", map[string]any{"kind": ev.Aux})
+	case KindRelocationProposed:
+		b.instant(ev, b.runPid, 0, "proposal ("+ev.Aux+")", "p", nil)
+	case KindBarrierEpoch:
+		b.instant(ev, b.runPid, 0, fmt.Sprintf("barrier #%d @it%d", ev.Node, ev.Iter), "g", nil)
+	case KindBarrierCancelled:
+		b.instant(ev, b.runPid, 0, fmt.Sprintf("barrier #%d cancelled", ev.Node), "g", nil)
+	case KindCrashFired:
+		b.instant(ev, int(ev.Host), 0, "crash", "p", map[string]any{"down_ms": ev.Dur / 1e6})
+	case KindHostRecovered:
+		b.instant(ev, int(ev.Host), 0, "recover", "p", nil)
+	case KindProbeIssued:
+		b.instant(ev, int(ev.Node), 0,
+			fmt.Sprintf("probe %s-%s", b.hostName(int(ev.Host)), b.hostName(int(ev.Peer))),
+			"t", map[string]any{"bw_bps": ev.Value})
+	case KindReinstantiated:
+		b.instant(ev, int(ev.Host), 0, fmt.Sprintf("reinstantiate op%d", ev.Node), "p", nil)
+	case KindRunAborted:
+		b.instant(ev, b.runPid, 0, "run aborted", "g", nil)
+	case KindDemandSent:
+		b.queueDepth++
+		b.counter(ev.At, "outstanding-demands", b.queueDepth)
+	case KindDataServed:
+		if b.queueDepth > 0 {
+			b.queueDepth--
+		}
+		b.counter(ev.At, "outstanding-demands", b.queueDepth)
+	case KindCriticalChanged:
+		if b.critical == nil {
+			b.critical = make(map[int32]bool)
+		}
+		now := ev.Value > 0.5
+		if b.critical[ev.Node] != now {
+			b.critical[ev.Node] = now
+			if now {
+				b.criticalLen++
+			} else {
+				b.criticalLen--
+			}
+			b.counter(ev.At, "critical-path-len", b.criticalLen)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// perfettoFixture exercises every exporter branch: transfer spans, a cut,
+// compose spans, relocations (committed and proposed), barrier lifecycle, a
+// crash/recover pair, probes, reinstantiation, and both counter tracks.
+func perfettoFixture() []Event {
+	return []Event{
+		{Kind: KindDemandSent, At: 50_000_000, Host: 3, Peer: 0, Node: 0, Iter: 1},
+		{Kind: KindTransferStart, At: 100_000_000, Host: 0, Peer: 1, Bytes: 131072, Name: "data"},
+		{Kind: KindProbeIssued, At: 200_000_000, Host: 0, Peer: 2, Node: 1, Value: 65536},
+		{Kind: KindTransferEnd, At: 1_100_000_000, Host: 0, Peer: 1, Bytes: 131072, Dur: 1_000_000_000, Value: 131072, Name: "data"},
+		{Kind: KindOperatorFired, At: 1_400_000_000, Host: 1, Node: 2, Iter: 1, Bytes: 131072, Dur: 250_000_000},
+		{Kind: KindDataServed, At: 1_500_000_000, Host: 1, Peer: 3, Node: 2, Iter: 1, Bytes: 131072},
+		{Kind: KindCriticalChanged, At: 1_600_000_000, Node: 2, Value: 1},
+		{Kind: KindRelocationProposed, At: 2_000_000_000, Node: 2, Host: 1, Peer: 2, Aux: "global"},
+		{Kind: KindBarrierEpoch, At: 2_100_000_000, Node: 7, Iter: 2, Host: 1},
+		{Kind: KindCrashFired, At: 2_500_000_000, Host: 2, Dur: 60_000_000_000},
+		{Kind: KindTransferCut, At: 2_600_000_000, Host: 1, Peer: 2, Bytes: 4096},
+		{Kind: KindBarrierCancelled, At: 2_700_000_000, Node: 7, Iter: 2},
+		{Kind: KindRetryScheduled, At: 2_800_000_000, Node: 2, Host: 1, Iter: 2, Value: 1},
+		{Kind: KindRelocationCommitted, At: 3_000_000_000, Node: 2, Host: 1, Peer: 0, Bytes: 262144, Aux: "barrier"},
+		{Kind: KindReinstantiated, At: 3_200_000_000, Node: 4, Host: 0, Iter: 2},
+		{Kind: KindHostRecovered, At: 62_500_000_000, Host: 2},
+		{Kind: KindCriticalChanged, At: 63_000_000_000, Node: 2, Value: 0},
+	}
+}
+
+func TestWritePerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, perfettoFixture(), []string{"s0", "s1", "s2", "client"}); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("updating golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Perfetto output diverged from golden file; rerun with -update and review the diff.\ngot:\n%s", buf.String())
+	}
+}
+
+// TestWritePerfettoWellFormed checks structural invariants independent of the
+// golden bytes: valid JSON, metadata before events, every span on a named
+// process, non-negative span start times.
+func TestWritePerfettoWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, perfettoFixture(), []string{"s0", "s1", "s2", "client"}); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", out.DisplayTimeUnit)
+	}
+	named := map[int]bool{}
+	sawEvent := false
+	spans := 0
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if sawEvent {
+				t.Fatal("metadata event after a data event; Perfetto wants naming first")
+			}
+			if ev.Name == "process_name" {
+				named[ev.Pid] = true
+			}
+		case "X":
+			sawEvent = true
+			spans++
+			if ev.Ts < 0 {
+				t.Errorf("span %q starts before t=0: ts=%v", ev.Name, ev.Ts)
+			}
+			if ev.Dur <= 0 {
+				t.Errorf("span %q has no duration", ev.Name)
+			}
+			if !named[ev.Pid] {
+				t.Errorf("span %q on unnamed process %d", ev.Name, ev.Pid)
+			}
+		default:
+			sawEvent = true
+		}
+	}
+	if spans != 2 {
+		t.Errorf("got %d spans, want 2 (one transfer, one compose)", spans)
+	}
+}
