@@ -1,0 +1,60 @@
+// Command simlint runs the repository's determinism and zero-alloc lint
+// suite (internal/lint) over the given package patterns and exits nonzero if
+// any invariant is violated. CI runs it as a blocking job via
+// scripts/lint.sh; locally:
+//
+//	go run ./cmd/simlint ./...
+//
+// The suite (see each analyzer's doc in internal/lint):
+//
+//	simclock        no wall-clock reads in the virtual-time packages
+//	seededrand      no global math/rand, no wall-clock-seeded sources
+//	detrange        no order-bearing effects under map iteration
+//	telemetryguard  nil-sink guard dominates every event construction/Emit
+//	hotpath         allocation discipline in benchmark-covered functions
+//	directives      every //lint: waiver is known and justified
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wadc/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("analyzers", false, "print the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"wadc/internal/faults"
+	"wadc/internal/telemetry"
+)
+
+// runArtifacts executes cfg with a JSONL event sink and metrics collection
+// attached, returning the serialized artifacts exactly as the exporters
+// would write them to disk.
+func runArtifacts(t *testing.T, cfg RunConfig) (jsonl, csv []byte) {
+	t.Helper()
+	var events bytes.Buffer
+	jw := telemetry.NewJSONLWriter(&events)
+	cfg.Telemetry = jw
+	cfg.CollectMetrics = true
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatalf("flush JSONL: %v", err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("CollectMetrics set but Metrics is nil")
+	}
+	var metrics bytes.Buffer
+	if err := telemetry.WriteMetricsCSV(&metrics, res.Metrics); err != nil {
+		t.Fatalf("WriteMetricsCSV: %v", err)
+	}
+	return events.Bytes(), metrics.Bytes()
+}
+
+// TestArtifactsByteIdentical: two runs with the same seed must serialize to
+// byte-identical JSONL event logs and metrics CSVs. This is the dynamic
+// counterpart of the simlint analyzers — simclock, seededrand and detrange
+// forbid the constructs (wall-clock reads, global randomness, order-bearing
+// map iteration) that would make these artifacts diverge between runs.
+func TestArtifactsByteIdentical(t *testing.T) {
+	faulty := faults.Config{
+		Crashes:      1,
+		MeanDowntime: 90 * time.Second,
+		DropProb:     0.05,
+		Horizon:      20 * time.Minute,
+	}
+	for name, mk := range chaosPolicies() {
+		for _, mode := range []struct {
+			label string
+			fc    faults.Config
+		}{
+			{"fault-free", faults.Config{}},
+			{"faulty", faulty},
+		} {
+			t.Run(name+"/"+mode.label, func(t *testing.T) {
+				cfg := RunConfig{
+					Seed: 21, NumServers: 4, Shape: CompleteBinaryTree,
+					Links: constLinks(64 * 1024), Policy: mk(),
+					Workload: smallWorkload(8),
+					Faults:   mode.fc,
+				}
+				jsonlA, csvA := runArtifacts(t, cfg)
+				cfg.Policy = mk() // policies carry state; fresh instance per run
+				jsonlB, csvB := runArtifacts(t, cfg)
+
+				if len(jsonlA) == 0 {
+					t.Fatal("run emitted no telemetry events")
+				}
+				if !bytes.Equal(jsonlA, jsonlB) {
+					t.Errorf("JSONL event logs diverge: %d vs %d bytes (first diff at byte %d)",
+						len(jsonlA), len(jsonlB), firstDiff(jsonlA, jsonlB))
+				}
+				if !bytes.Equal(csvA, csvB) {
+					t.Errorf("metrics CSVs diverge:\n--- run A ---\n%s\n--- run B ---\n%s", csvA, csvB)
+				}
+			})
+		}
+	}
+}
+
+// firstDiff returns the index of the first differing byte, or -1 if one
+// buffer is a prefix of the other.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}

@@ -70,6 +70,8 @@ func (n *node) mailbox() *sim.Mailbox {
 // is what makes the change-over provably consistent: any node serving an
 // iteration >= the barrier's maximum report has already learned the order
 // from its inputs).
+//
+//lint:hotpath
 func (n *node) send(p *sim.Proc, to addr, env *envelope, size int64, prio sim.Priority) {
 	env.from = n.id
 	env.fromAddr = n.address()
@@ -269,6 +271,8 @@ func (e *Engine) spawnForwarder(n *node, oldHost netmodel.HostID, mb *sim.Mailbo
 }
 
 // sendData replies to a demand with the held output.
+//
+//lint:hotpath
 func (n *node) sendData(p *sim.Proc, demand *envelope) {
 	if n.held == nil {
 		panic(fmt.Sprintf("dataflow: node %d has nothing to send", n.id))

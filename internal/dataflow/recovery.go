@@ -55,6 +55,7 @@ package dataflow
 
 import (
 	"fmt"
+	"sort"
 
 	"wadc/internal/netmodel"
 	"wadc/internal/plan"
@@ -145,8 +146,16 @@ func (e *Engine) abort() {
 		}
 		n.alive = false
 	}
-	for h, fps := range e.fwds {
-		for _, fp := range fps {
+	// Kill forwarders in sorted host order: map iteration order is random,
+	// and Kill schedules kernel events, so an unsorted sweep would give every
+	// aborted run a different event sequence (caught by simlint's detrange).
+	hosts := make([]netmodel.HostID, 0, len(e.fwds))
+	for h := range e.fwds {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	for _, h := range hosts {
+		for _, fp := range e.fwds[h] {
 			e.k.Kill(fp)
 		}
 		delete(e.fwds, h)

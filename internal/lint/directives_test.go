@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestDirectives(t *testing.T) {
+	runTest(t, Directives, "directives")
+}

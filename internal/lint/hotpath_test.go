@@ -1,0 +1,17 @@
+package lint
+
+import "testing"
+
+func TestHotPath(t *testing.T) {
+	orig, had := HotPathRequired["hotpath"]
+	HotPathRequired["hotpath"] = []string{"Process", "Unmarked", "Missing"}
+	defer func() {
+		if had {
+			HotPathRequired["hotpath"] = orig
+		} else {
+			delete(HotPathRequired, "hotpath")
+		}
+	}()
+
+	runTest(t, HotPath, "hotpath")
+}

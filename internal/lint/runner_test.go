@@ -1,0 +1,196 @@
+package lint
+
+// An analysistest-style harness on the standard library: each analyzer runs
+// over a package under testdata/src/<name>, and every diagnostic must be
+// announced by a `// want "regexp"` comment on the line it fires on —
+// unexpected diagnostics and unmatched expectations both fail the test.
+// Imports between testdata packages resolve GOPATH-style from testdata/src
+// (so telemetryguard tests a stand-in telemetry package); standard-library
+// imports fall back to the toolchain's source importer.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// testLoader resolves import paths against testdata/src first, then the
+// standard library.
+type testLoader struct {
+	fset   *token.FileSet
+	root   string // testdata/src
+	cache  map[string]*Package
+	stdlib types.Importer
+}
+
+func newTestLoader(t *testing.T) *testLoader {
+	t.Helper()
+	fset := token.NewFileSet()
+	return &testLoader{
+		fset:   fset,
+		root:   filepath.Join("testdata", "src"),
+		cache:  make(map[string]*Package),
+		stdlib: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer so the loader can feed itself to the type
+// checker for cross-testdata-package imports.
+func (l *testLoader) Import(path string) (*types.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p.Types, nil
+	}
+	if _, err := os.Stat(filepath.Join(l.root, path)); err == nil {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+// load parses and type-checks one testdata package.
+func (l *testLoader) load(path string) (*Package, error) {
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking testdata package %s: %v", path, err)
+	}
+	// Every testdata package counts as "local code" for detrange's
+	// can-this-call-reach-simulation-state heuristic.
+	locals, err := l.localPrefixes()
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{
+		Path:          path,
+		Fset:          l.fset,
+		Files:         files,
+		Types:         tpkg,
+		Info:          info,
+		LocalPrefixes: locals,
+	}
+	l.cache[path] = p
+	return p, nil
+}
+
+func (l *testLoader) localPrefixes() ([]string, error) {
+	entries, err := os.ReadDir(l.root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+// expectations extracts the `// want "rx"` comments of a package.
+func expectations(t *testing.T, p *Package) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: malformed want comment: %s", pos, c.Text)
+				}
+				for _, a := range args {
+					text, err := strconv.Unquote(`"` + a[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, a[1], err)
+					}
+					rx, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, text, err)
+					}
+					wants = append(wants, expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runTest applies one analyzer to testdata/src/<path> and checks its
+// diagnostics against the package's want comments.
+func runTest(t *testing.T, a *Analyzer, path string) {
+	t.Helper()
+	l := newTestLoader(t)
+	pkg, err := l.load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+	wants := expectations(t, pkg)
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSeededRand(t *testing.T) {
+	runTest(t, SeededRand, "seededrand")
+}

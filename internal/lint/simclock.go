@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SimClockPackages lists the virtual-time packages: inside them, time flows
+// only from the simulation kernel's clock, never from the host's. Tests
+// append their testdata packages here.
+var SimClockPackages = []string{
+	"wadc/internal/sim",
+	"wadc/internal/netmodel",
+	"wadc/internal/dataflow",
+	"wadc/internal/placement",
+	"wadc/internal/monitor",
+	"wadc/internal/faults",
+	"wadc/internal/core",
+	"wadc/internal/trace",
+	"wadc/internal/workload",
+}
+
+// simClockForbidden are the package-level functions of "time" that read or
+// wait on the wall clock. time.Duration arithmetic and constants stay legal:
+// the model measures simulated durations, it just must not observe real ones.
+var simClockForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// SimClock forbids wall-clock access inside the virtual-time packages.
+// Reading the host clock there desynchronises replay: two runs with the same
+// seed and trace would diverge the moment a decision depends on real time.
+// Command-line entry points (cmd/...) may use the wall clock freely; inside
+// the model, a site that genuinely needs it (none today) must carry
+// //lint:allow-walltime <reason>.
+var SimClock = &Analyzer{
+	Name: "simclock",
+	Doc: "forbid time.Now/Since/Sleep/After/NewTimer/... in the virtual-time packages; " +
+		"model time must come from the kernel clock (waive with //lint:allow-walltime)",
+	Run: runSimClock,
+}
+
+func runSimClock(pass *Pass) {
+	inScope := false
+	for _, p := range SimClockPackages {
+		if pass.Path == p || strings.HasPrefix(pass.Path, p+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.Info.Uses[sel.Sel]
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if !simClockForbidden[sel.Sel.Name] {
+				return true
+			}
+			if pass.Allowed("allow-walltime", sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"wall-clock access time.%s in virtual-time package %s breaks deterministic replay; use the kernel clock (sim.Kernel.Now/After/Every) or annotate //lint:allow-walltime <reason>",
+				sel.Sel.Name, pass.Path)
+			return true
+		})
+	}
+}

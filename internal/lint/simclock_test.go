@@ -1,0 +1,29 @@
+package lint
+
+import "testing"
+
+func TestSimClock(t *testing.T) {
+	orig := SimClockPackages
+	SimClockPackages = append(append([]string(nil), orig...), "simclock")
+	defer func() { SimClockPackages = orig }()
+
+	runTest(t, SimClock, "simclock")
+}
+
+// TestSimClockOutOfScope: the same violations are legal outside the
+// virtual-time packages (cmd/, experiment drivers), so the analyzer must
+// stay silent when the package is not registered.
+func TestSimClockOutOfScope(t *testing.T) {
+	orig := SimClockPackages
+	SimClockPackages = []string{"wadc/internal/sim"}
+	defer func() { SimClockPackages = orig }()
+
+	l := newTestLoader(t)
+	pkg, err := l.load("simclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{SimClock}); len(diags) != 0 {
+		t.Errorf("out-of-scope package produced %d diagnostics, want 0; first: %v", len(diags), diags[0])
+	}
+}

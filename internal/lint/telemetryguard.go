@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TelemetryGuard enforces the guard-before-construct contract from DESIGN.md
+// §8: disabled telemetry must cost zero allocations, so a telemetry.Event
+// may only be constructed — and Emit only called — where a nil-sink check
+// dominates the site. One innocent `k.Emit(telemetry.Event{...})` without
+// the guard re-introduces an allocation per event on the disabled hot path
+// (the event escapes into the Emit parameter), which is exactly how the
+// 11→4 allocs/op win regresses.
+//
+// Accepted guard shapes:
+//
+//	if s != nil { ... Emit ... }            // enclosing if, any && conjunct
+//	if tel := k.Telemetry(); tel != nil { ... }
+//	if s == nil { return }; ... Emit ...    // early return/panic/continue
+//	if s == nil { ... } else { ... Emit ... }
+//
+// where s is any expression whose type is the telemetry Sink interface or
+// carries an Emit(telemetry.Event) method. The telemetry package itself is
+// exempt — it implements the sinks.
+var TelemetryGuard = &Analyzer{
+	Name: "telemetryguard",
+	Doc: "require every telemetry.Event construction and Sink.Emit call to be dominated by a " +
+		"nil-sink check (waive with //lint:allow-unguarded)",
+	Run: runTelemetryGuard,
+}
+
+func runTelemetryGuard(pass *Pass) {
+	if pass.Types.Name() == "telemetry" {
+		return
+	}
+	for _, f := range pass.Files {
+		var emitCalls []*ast.CallExpr
+		var eventLits []*ast.CompositeLit
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isEmitCall(pass.Info, n) {
+					emitCalls = append(emitCalls, n)
+				}
+			case *ast.CompositeLit:
+				if tv, ok := pass.Info.Types[n]; ok && isTelemetryEvent(tv.Type) {
+					eventLits = append(eventLits, n)
+				}
+			}
+			return true
+		})
+
+		// An Event literal that is itself the argument of a checked Emit call
+		// yields one diagnostic, not two.
+		covered := make(map[*ast.CompositeLit]bool)
+		for _, call := range emitCalls {
+			if len(call.Args) == 1 {
+				if lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit); ok {
+					covered[lit] = true
+				}
+			}
+			if nilSinkGuarded(pass, f, call.Pos()) || pass.Allowed("allow-unguarded", call.Pos()) {
+				continue
+			}
+			pass.Reportf(call.Pos(),
+				"Emit call is not dominated by a nil-sink check; guard with `if sink != nil { ... }` before building the event so disabled telemetry stays allocation-free (or annotate //lint:allow-unguarded <reason>)")
+		}
+		for _, lit := range eventLits {
+			if covered[lit] {
+				continue
+			}
+			if nilSinkGuarded(pass, f, lit.Pos()) || pass.Allowed("allow-unguarded", lit.Pos()) {
+				continue
+			}
+			pass.Reportf(lit.Pos(),
+				"telemetry.Event constructed outside a nil-sink guard; check the sink for nil before building the event (or annotate //lint:allow-unguarded <reason>)")
+		}
+	}
+}
+
+// isTelemetryEvent reports whether t is the Event struct of a telemetry
+// package (matched by name so the analyzer works against both the real
+// wadc/internal/telemetry and the testdata stand-in).
+func isTelemetryEvent(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil && obj.Pkg().Name() == "telemetry"
+}
+
+// isSinkish reports whether t is the telemetry Sink interface or any type
+// whose method set contains Emit(telemetry.Event).
+func isSinkish(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Name() == "Sink" && obj.Pkg() != nil && obj.Pkg().Name() == "telemetry" {
+			return true
+		}
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Emit")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && isTelemetryEvent(sig.Params().At(0).Type())
+}
+
+// isEmitCall reports whether call invokes a method named Emit taking exactly
+// one telemetry.Event — the Sink interface method or any concrete or
+// forwarding implementation of it (sim.Kernel.Emit included).
+func isEmitCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := callee(info, call)
+	if fn == nil || fn.Name() != "Emit" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 1 {
+		return false
+	}
+	return isTelemetryEvent(sig.Params().At(0).Type())
+}
+
+// nilSinkGuarded reports whether pos is dominated by a nil-sink check: an
+// enclosing if on a sink nil-comparison (with the polarity matching the
+// taken branch), or an earlier `if sink == nil { return/panic/continue }`
+// statement in an enclosing block.
+func nilSinkGuarded(pass *Pass, f *ast.File, pos token.Pos) bool {
+	path := pathTo(f, pos)
+	for i, n := range path {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			inBody := within(n.Body, pos)
+			inElse := n.Else != nil && within(n.Else, pos)
+			if inBody && condHasSinkNilCheck(pass, n.Cond, token.NEQ) {
+				return true
+			}
+			if inElse && condHasSinkNilCheck(pass, n.Cond, token.EQL) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Statements of this block that precede the one containing pos.
+			var container ast.Node
+			if i+1 < len(path) {
+				container = path[i+1]
+			}
+			for _, stmt := range n.List {
+				if container != nil && stmt.Pos() <= container.Pos() && container.End() <= stmt.End() {
+					break // reached the statement containing pos
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if !ok || !condHasSinkNilCheck(pass, ifs.Cond, token.EQL) {
+					continue
+				}
+				if blockDiverts(pass.Info, ifs.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// within reports whether pos falls inside node n.
+func within(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}
+
+// condHasSinkNilCheck reports whether cond contains a `sink <op> nil`
+// comparison for a sink-typed expression.
+func condHasSinkNilCheck(pass *Pass, cond ast.Expr, op token.Token) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != op {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			expr, other := pair[0], pair[1]
+			if id, ok := ast.Unparen(other).(*ast.Ident); !ok || id.Name != "nil" {
+				continue
+			}
+			if tv, ok := pass.Info.Types[expr]; ok && isSinkish(tv.Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// blockDiverts reports whether the block's final statement leaves the
+// surrounding flow (return, panic, continue, break, goto), making a
+// preceding `if sink == nil` an effective dominator for what follows.
+func blockDiverts(info *types.Info, b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		return ok && builtinName(info, call) == "panic"
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package lint
+
+import "testing"
+
+func TestTelemetryGuard(t *testing.T) {
+	runTest(t, TelemetryGuard, "telemetryguard")
+}
+
+// TestTelemetryGuardSkipsSinkImplementations: the telemetry package itself
+// implements the sinks and may touch events freely.
+func TestTelemetryGuardSkipsSinkImplementations(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.load("telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{TelemetryGuard}); len(diags) != 0 {
+		t.Errorf("telemetry package produced %d diagnostics, want 0; first: %v", len(diags), diags[0])
+	}
+}

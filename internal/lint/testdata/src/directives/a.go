@@ -1,0 +1,18 @@
+// Package directives seeds malformed lint directives for the Directives
+// analyzer.
+package directives
+
+import "time"
+
+func bad() {
+	//lint:allow-waltime typo'd name silently waives nothing // want "unknown lint directive //lint:allow-waltime"
+	_ = time.Now()
+
+	//lint:allow-walltime // want "//lint:allow-walltime requires a reason"
+	_ = time.Now()
+}
+
+func good() {
+	//lint:allow-walltime progress display only, never feeds the model
+	_ = time.Now()
+}

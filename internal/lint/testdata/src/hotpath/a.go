@@ -1,0 +1,46 @@
+// Package hotpath seeds allocation-prone constructs for the hotpath
+// analyzer. The test requires annotations on Process, Unmarked and a
+// nonexistent Missing, so the package-clause diagnostic below and the
+// one on Unmarked fire alongside the in-body checks.
+package hotpath // want "hot-path function hotpath.Missing is required by the lint configuration but no longer exists"
+
+import "fmt"
+
+func sink(v any) {}
+
+func hot(s string) {}
+
+//lint:hotpath
+func Process(names []string, n int) string {
+	_ = fmt.Sprintf("node%d", n) // want "fmt.Sprintf allocates on the //lint:hotpath function Process" "int argument boxed into interface parameter"
+
+	f := func() int { return n } // want "closure allocates its captures"
+	_ = f()
+
+	out := ""
+	for _, name := range names {
+		out = out + name // want "string concatenation inside a loop"
+	}
+
+	sink(n) // want "int argument boxed into interface parameter"
+
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // cold path: panic arguments are exempt
+	}
+	defer func() { hot(out) }() // unwind safety: deferred closures are exempt
+
+	sink("constant") // constants convert to interface via static data, no boxing
+
+	//lint:allow-alloc one-time setup, measured and accepted
+	_ = fmt.Sprint(n)
+
+	return out
+}
+
+// Unmarked is required by the test configuration but lacks the annotation.
+func Unmarked() {} // want "Unmarked is covered by the hot-path benchmarks and must be annotated"
+
+// cool is not annotated, so nothing in it is checked.
+func cool(n int) string {
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,32 @@
+// Package seededrand seeds global-randomness violations for the seededrand
+// analyzer.
+package seededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func violations() {
+	_ = rand.Intn(6)      // want "global rand.Intn draws from shared process state"
+	_ = rand.Float64()    // want "global rand.Float64"
+	_ = rand.Perm(4)      // want "global rand.Perm"
+	rand.Shuffle(2, swap) // want "global rand.Shuffle"
+
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.New seeded from time.Now is irreproducible" "rand.NewSource seeded from time.Now is irreproducible"
+	_ = rand.NewSource(int64(time.Now().Nanosecond()))  // want "rand.NewSource seeded from time.Now"
+}
+
+func legal(seed int64) {
+	// The sanctioned pattern: an explicit source, seeded from configuration,
+	// threaded to whoever needs randomness.
+	r := rand.New(rand.NewSource(seed))
+	_ = r.Intn(6)
+	_ = r.Float64()
+	r.Shuffle(2, swap)
+
+	//lint:allow-globalrand non-replayed smoke path
+	_ = rand.Intn(6)
+}
+
+func swap(i, j int) {}

@@ -1,0 +1,32 @@
+// Package simclock seeds wall-clock violations for the simclock analyzer
+// (the test registers this package as a virtual-time package).
+package simclock
+
+import "time"
+
+// Clock stands in for the kernel clock.
+type Clock struct{ now int64 }
+
+func violations(c *Clock) {
+	_ = time.Now()               // want "wall-clock access time.Now in virtual-time package"
+	_ = time.Since(time.Time{})  // want "wall-clock access time.Since"
+	time.Sleep(time.Millisecond) // want "wall-clock access time.Sleep"
+	_ = time.NewTimer(0)         // want "wall-clock access time.NewTimer"
+	_ = time.After(time.Second)  // want "wall-clock access time.After"
+	go func() {
+		_ = time.Now() // want "wall-clock access time.Now"
+	}()
+}
+
+func legal(c *Clock) {
+	// Duration arithmetic and formatting never read the host clock.
+	d := 3 * time.Second
+	_ = d.String()
+	_ = time.Duration(c.now)
+	_ = time.Unix(c.now, 0) // constructing a time from model state is fine
+
+	//lint:allow-walltime progress logging only, result-invariant
+	_ = time.Now()
+
+	_ = time.Now() //lint:allow-walltime trailing-directive form, result-invariant
+}

@@ -1,0 +1,27 @@
+// Package telemetry is a stand-in for wadc/internal/telemetry: the
+// telemetryguard analyzer matches the Event/Sink shapes by name, so the
+// golden tests exercise it against this miniature copy.
+package telemetry
+
+// Event is one structured simulation event.
+type Event struct {
+	Kind int
+	At   int64
+	Name string
+}
+
+// Sink consumes events.
+type Sink interface {
+	Emit(ev Event)
+}
+
+// Multi fans out to several sinks.
+func Multi(sinks ...Sink) Sink { return multi(sinks) }
+
+type multi []Sink
+
+func (m multi) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}

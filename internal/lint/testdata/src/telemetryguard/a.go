@@ -1,0 +1,67 @@
+// Package telemetryguard seeds guard-before-construct violations for the
+// telemetryguard analyzer, against the stand-in telemetry package.
+package telemetryguard
+
+import "telemetry"
+
+// Kernel mirrors sim.Kernel's cached-sink shape.
+type Kernel struct {
+	tel telemetry.Sink
+	now int64
+}
+
+// Telemetry returns the sink, or nil when telemetry is disabled.
+func (k *Kernel) Telemetry() telemetry.Sink { return k.tel }
+
+// Emit forwards to the sink; the early return is the dominating guard.
+func (k *Kernel) Emit(ev telemetry.Event) {
+	if k.tel == nil {
+		return
+	}
+	ev.At = k.now
+	k.tel.Emit(ev)
+}
+
+func violations(k *Kernel) {
+	k.tel.Emit(telemetry.Event{Kind: 1}) // want "Emit call is not dominated by a nil-sink check"
+
+	k.Emit(telemetry.Event{Kind: 2}) // want "Emit call is not dominated by a nil-sink check"
+
+	ev := telemetry.Event{Kind: 3, Name: "escapes"} // want "telemetry.Event constructed outside a nil-sink guard"
+	if k.tel != nil {
+		k.tel.Emit(ev)
+	}
+
+	if k.now > 0 {
+		k.Emit(telemetry.Event{Kind: 4}) // want "Emit call is not dominated by a nil-sink check"
+	}
+}
+
+func legal(k *Kernel, enabled bool) {
+	if k.tel != nil {
+		k.tel.Emit(telemetry.Event{Kind: 1})
+	}
+	if tel := k.Telemetry(); tel != nil {
+		tel.Emit(telemetry.Event{Kind: 2})
+	}
+	if enabled && k.tel != nil {
+		k.Emit(telemetry.Event{Kind: 3})
+	}
+	if k.tel == nil {
+		return
+	}
+	k.tel.Emit(telemetry.Event{Kind: 4})
+}
+
+func legalElse(k *Kernel) {
+	if k.tel == nil {
+		// disabled: nothing to do
+	} else {
+		k.tel.Emit(telemetry.Event{Kind: 5})
+	}
+}
+
+func waived(k *Kernel) {
+	//lint:allow-unguarded cold path, runs once per simulation
+	k.Emit(telemetry.Event{Kind: 6})
+}

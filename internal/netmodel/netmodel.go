@@ -278,6 +278,8 @@ func (n *Network) FaultCounts() (dropped, duplicated, cut int64) {
 // destination port. Local messages (src == dst) are delivered immediately:
 // co-locating an operator with its consumer eliminates the network cost,
 // which is exactly the effect placement exploits.
+//
+//lint:hotpath
 func (n *Network) Send(p *sim.Proc, msg *Message) {
 	msg.SentAt = n.k.Now()
 	prio := msg.Prio
@@ -432,6 +434,7 @@ func (n *Network) emitDrop(msg *Message, cause string) {
 	})
 }
 
+//lint:hotpath
 func (n *Network) deliver(msg *Message, prio sim.Priority) {
 	n.hosts[msg.Dst].Port(msg.Port).Send(msg, prio)
 }

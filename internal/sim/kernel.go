@@ -141,6 +141,8 @@ func (k *Kernel) Telemetry() telemetry.Sink { return k.tel }
 // telemetry sink. It is a no-op when telemetry is disabled, but callers on
 // hot paths should still guard on Telemetry() != nil before constructing the
 // event to keep the disabled path allocation-free.
+//
+//lint:hotpath
 func (k *Kernel) Emit(ev telemetry.Event) {
 	if k.tel == nil {
 		return
@@ -151,6 +153,8 @@ func (k *Kernel) Emit(ev telemetry.Event) {
 
 // schedule inserts an event at absolute time at. Panics if at is in the past:
 // simulations cannot rewrite history.
+//
+//lint:hotpath
 func (k *Kernel) schedule(at Time, fn func(), p *Proc) *event {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))

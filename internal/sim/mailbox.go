@@ -100,6 +100,8 @@ func (m *Mailbox) Len() int { return m.queue.Len() }
 
 // Send enqueues msg at the given priority and wakes one waiting receiver, if
 // any. It is safe to call from scheduler callbacks as well as processes.
+//
+//lint:hotpath
 func (m *Mailbox) Send(msg any, prio Priority) {
 	if m.k.tel != nil {
 		m.k.Emit(telemetry.Event{Kind: telemetry.KindMailboxSend, Name: m.name, Prio: int8(prio)})
@@ -126,6 +128,8 @@ func (m *Mailbox) wakeOne() {
 
 // Recv blocks p until a message is available, then returns the
 // highest-priority (FIFO within priority) message.
+//
+//lint:hotpath
 func (m *Mailbox) Recv(p *Proc) any {
 	for m.queue.Len() == 0 {
 		m.waiters = append(m.waiters, p)

@@ -76,6 +76,8 @@ func (p *Proc) block() {
 }
 
 // Hold suspends the process for simulated duration d.
+//
+//lint:hotpath
 func (p *Proc) Hold(d time.Duration) {
 	if d < 0 {
 		d = 0

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Run the repository's determinism / zero-alloc lint suite (cmd/simlint,
+# analyzers in internal/lint) over the whole module. CI runs this as a
+# blocking job; run it locally before sending a change that touches the
+# virtual-time packages or the telemetry hot path.
+#
+# Usage: scripts/lint.sh [package patterns]   (default: ./...)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# simlint loads packages through `go list -export`, so dependency type
+# information comes out of the go build cache; priming it here keeps the
+# whole run to roughly `go vet` cost and lets CI cache one artifact.
+go build ./...
+
+go run ./cmd/simlint "${@:-./...}"
