@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"wadc/internal/core"
@@ -45,6 +46,26 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics as CSV to this file")
 	)
 	flag.Parse()
+
+	// Fail fast on unwritable output destinations: a long simulation must
+	// not run to completion only to lose its artifacts to a typo'd path.
+	for _, out := range []struct{ flag, path string }{
+		{"-trace-out", *traceOut},
+		{"-events-out", *eventsOut},
+		{"-metrics-out", *metricsOut},
+	} {
+		if out.path == "" {
+			continue
+		}
+		dir := filepath.Dir(out.path)
+		if st, err := os.Stat(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "combine: %s %s: directory %s does not exist\n", out.flag, out.path, dir)
+			os.Exit(2)
+		} else if !st.IsDir() {
+			fmt.Fprintf(os.Stderr, "combine: %s %s: %s is not a directory\n", out.flag, out.path, dir)
+			os.Exit(2)
+		}
+	}
 
 	var policy placement.Policy
 	switch *alg {
@@ -133,6 +154,11 @@ func main() {
 	fmt.Printf("completion time:    %.1fs\n", res.Completion.Seconds())
 	fmt.Printf("mean interarrival:  %.1fs/image\n", res.MeanInterarrival.Seconds())
 	fmt.Printf("operator moves:     %d (%d coordinated change-overs)\n", res.Moves, res.Switches)
+	if res.Decisions.Decisions > 0 {
+		fmt.Printf("decisions:          %d (%d candidates scored, %d moves chosen, %.1fs predicted gain)\n",
+			res.Decisions.Decisions, res.Decisions.Candidates,
+			res.Decisions.Moves, res.Decisions.PredictedGain)
+	}
 	fmt.Printf("monitoring:         %d probes, %d passive measurements, %.0f%% cache hits\n",
 		res.Probes, res.PassiveMeasurements, res.CacheHitRate*100)
 	fmt.Printf("network:            %d transfers, %.1f MB moved\n",

@@ -1,0 +1,141 @@
+// Command simscope inspects structured event logs written by -events-out
+// (cmd/combine, cmd/experiments) and answers three questions about a run:
+//
+//	simscope timeline run.jsonl
+//	    What happened when? Initial placement, every placement decision
+//	    (critical path, predicted cost, candidates, chosen moves), every
+//	    committed relocation, and the completion summary.
+//
+//	simscope decisions [-v] run.jsonl [run2.jsonl ...]
+//	    How good were the decisions? Per-algorithm audit table joining each
+//	    decision's predictions with realized outcomes: iteration-time
+//	    deltas, relocation cost paid, prediction error, reverted moves.
+//	    Several logs (e.g. a global and a local run of the same
+//	    configuration) are reported side by side. -v adds one audit line
+//	    per decision.
+//
+//	simscope diff a.jsonl b.jsonl
+//	    Are two runs the same run? Two same-seed, same-config logs must be
+//	    event-for-event identical (the determinism contract); the diff
+//	    reports zero divergence then, or pinpoints the first differing
+//	    event, the first diverging iteration and per-kind count deltas.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wadc/internal/analysis"
+	"wadc/internal/telemetry"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "timeline":
+		err = cmdTimeline(args[1:])
+	case "decisions":
+		err = cmdDecisions(args[1:])
+	case "diff":
+		err = cmdDiff(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "simscope: unknown command %q\n\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simscope: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  simscope timeline <run.jsonl>
+  simscope decisions [-v] <run.jsonl> [more.jsonl ...]
+  simscope diff <a.jsonl> <b.jsonl>
+`)
+}
+
+func load(path string) ([]telemetry.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}
+
+func cmdTimeline(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("timeline wants exactly one log, got %d", len(args))
+	}
+	events, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s ==\n", filepath.Base(args[0]))
+	fmt.Print(analysis.FormatTimeline(events))
+	return nil
+}
+
+func cmdDecisions(args []string) error {
+	fs := flag.NewFlagSet("decisions", flag.ContinueOnError)
+	verbose := fs.Bool("v", false, "print one audit line per decision")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("decisions wants at least one log")
+	}
+	for _, path := range fs.Args() {
+		events, err := load(path)
+		if err != nil {
+			return err
+		}
+		outcomes := analysis.Attribute(analysis.ExtractDecisions(events), events)
+		fmt.Printf("== %s ==\n", filepath.Base(path))
+		if len(outcomes) == 0 {
+			fmt.Println("no placement-decision records in log")
+			continue
+		}
+		fmt.Print(analysis.FormatDecisionReports(analysis.BuildReports(outcomes)))
+		if *verbose {
+			fmt.Print(analysis.FormatDecisionTable(outcomes))
+		}
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("diff wants exactly two logs, got %d", len(args))
+	}
+	a, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := load(args[1])
+	if err != nil {
+		return err
+	}
+	res := analysis.DiffLogs(a, b)
+	fmt.Print(res.String())
+	if !res.Identical {
+		os.Exit(3) // scriptable: diff exits non-zero on divergence
+	}
+	return nil
+}

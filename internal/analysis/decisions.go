@@ -1,0 +1,412 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wadc/internal/telemetry"
+)
+
+// Decision is one placement decision reconstructed from a telemetry event
+// log: the Seq-correlated decision-* record the placement Auditor emitted,
+// regrouped into a single value. Interleaved records (local decisions whose
+// monitoring probes suspend the operator mid-decision) are separated by Seq.
+type Decision struct {
+	// Seq is the decision id (unique within one run's event log).
+	Seq int64
+	// Algorithm is the policy that made the decision ("one-shot", "global",
+	// "local").
+	Algorithm string
+	// Decider is the host whose bandwidth view the decision used.
+	Decider int32
+	// Iter is the dataflow iteration the decision was tied to (-1 when
+	// none, e.g. the periodic global placer or an initial placement).
+	Iter int32
+	// Start and End are the record's bracketing times (simulated ns).
+	Start, End int64
+	// StartCost is the predicted cost (seconds) of the placement the
+	// decision started from; FinalCost the predicted cost of the placement
+	// it chose. Equal when the decision kept the current placement.
+	StartCost, FinalCost float64
+	// Path is the critical path the optimiser saw (tree node ids).
+	Path []int32
+	// Bandwidth is the snapshot of link estimates the decision used.
+	Bandwidth []BandwidthSample
+	// Candidates are all evaluated alternatives, in evaluation order.
+	Candidates []CandidateSample
+	// Moves are the chosen relocations, in choice order.
+	Moves []MoveSample
+}
+
+// BandwidthSample is one link of a decision's bandwidth snapshot.
+type BandwidthSample struct {
+	A, B int32
+	// BW is the served estimate in bytes/s.
+	BW float64
+	// Probed is true when the lookup cost a fresh on-demand probe (false:
+	// served from the decider's cache).
+	Probed bool
+}
+
+// CandidateSample is one evaluated (operator, host) alternative.
+type CandidateSample struct {
+	Op, From, To int32
+	// Round is the optimiser round (always 0 for local decisions).
+	Round int32
+	// Cost is the predicted cost (seconds) of the placement with Op at To.
+	Cost float64
+	// Extra marks the local algorithm's random additional candidates.
+	Extra bool
+}
+
+// MoveSample is one chosen relocation and its predicted gain (seconds).
+type MoveSample struct {
+	Op, From, To int32
+	Gain         float64
+}
+
+// ExtractDecisions regroups a log's decision-* events into Decision values,
+// ordered by Seq. Records without a decision-start (truncated logs) are
+// dropped; records without a decision-end keep FinalCost = StartCost.
+func ExtractDecisions(events []telemetry.Event) []Decision {
+	byseq := make(map[int64]*Decision)
+	order := []int64{}
+	get := func(seq int64) *Decision {
+		d := byseq[seq]
+		if d == nil {
+			d = &Decision{Seq: seq, Iter: -1}
+			byseq[seq] = d
+			order = append(order, seq)
+		}
+		return d
+	}
+	started := make(map[int64]bool)
+	for _, ev := range events {
+		switch ev.Kind {
+		case telemetry.KindDecisionStart:
+			d := get(ev.Seq)
+			d.Algorithm = ev.Aux
+			d.Decider = ev.Host
+			d.Iter = ev.Iter
+			d.Start, d.End = ev.At, ev.At
+			started[ev.Seq] = true
+		case telemetry.KindDecisionBandwidth:
+			d := get(ev.Seq)
+			d.Bandwidth = append(d.Bandwidth, BandwidthSample{
+				A: ev.Host, B: ev.Peer, BW: ev.Value, Probed: ev.Aux == "probe",
+			})
+		case telemetry.KindDecisionPath:
+			d := get(ev.Seq)
+			d.StartCost = ev.Value
+			d.FinalCost = ev.Value
+			d.Path = parseNodeIDs(ev.Name)
+		case telemetry.KindDecisionCandidate:
+			d := get(ev.Seq)
+			d.Candidates = append(d.Candidates, CandidateSample{
+				Op: ev.Node, From: ev.Host, To: ev.Peer,
+				Round: ev.Iter, Cost: ev.Value, Extra: ev.Aux == "extra",
+			})
+		case telemetry.KindDecisionMove:
+			d := get(ev.Seq)
+			d.Moves = append(d.Moves, MoveSample{
+				Op: ev.Node, From: ev.Host, To: ev.Peer, Gain: ev.Value,
+			})
+		case telemetry.KindDecisionEnd:
+			d := get(ev.Seq)
+			d.FinalCost = ev.Value
+			d.End = ev.At
+		}
+	}
+	var out []Decision
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, seq := range order {
+		if started[seq] {
+			out = append(out, *byseq[seq])
+		}
+	}
+	return out
+}
+
+func parseNodeIDs(s string) []int32 {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int32, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			continue
+		}
+		out = append(out, int32(v))
+	}
+	return out
+}
+
+// Outcome joins one decision with what the run actually did afterwards.
+type Outcome struct {
+	Decision
+	// PreInterarrival and PostInterarrival are the mean client image
+	// interarrival times (seconds) over the attribution window before the
+	// decision started and after it ended (0 when the window is empty —
+	// e.g. initial placements have no pre window).
+	PreInterarrival, PostInterarrival float64
+	// IterDelta is PostInterarrival - PreInterarrival: negative when
+	// iterations got faster after the decision.
+	IterDelta float64
+	// PredErr is the relative prediction error of the decision's chosen
+	// cost against the realized post-decision interarrival:
+	// (PostInterarrival - FinalCost) / FinalCost. NaN when unattributable.
+	PredErr float64
+	// CommittedMoves counts this decision's moves that were later committed
+	// by the engine (matched against relocation-committed events);
+	// RelocationBytes is the held output that travelled with them.
+	CommittedMoves  int
+	RelocationBytes int64
+	// Reverted is true when a later committed relocation returned one of
+	// this decision's moved operators to the host it left.
+	Reverted bool
+}
+
+// attributionWindow is how many arrivals on each side of a decision form the
+// realized-interarrival estimate.
+const attributionWindow = 4
+
+// Attribute joins each decision with realized outcomes mined from the same
+// event log: image-arrived events give the iteration-time windows around the
+// decision, relocation-committed events give the relocation cost actually
+// paid and expose decisions whose moves were later reverted.
+func Attribute(decisions []Decision, events []telemetry.Event) []Outcome {
+	type commit struct {
+		at       int64
+		op       int32
+		from, to int32
+		bytes    int64
+		used     bool
+	}
+	var arrivals []int64
+	var commits []*commit
+	for _, ev := range events {
+		switch ev.Kind {
+		case telemetry.KindImageArrived:
+			arrivals = append(arrivals, ev.At)
+		case telemetry.KindRelocationCommitted:
+			commits = append(commits, &commit{
+				at: ev.At, op: ev.Node, from: ev.Host, to: ev.Peer, bytes: ev.Bytes,
+			})
+		}
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+
+	out := make([]Outcome, 0, len(decisions))
+	for _, d := range decisions {
+		o := Outcome{Decision: d, PredErr: math.NaN()}
+		o.PreInterarrival = meanInterarrival(arrivalsBefore(arrivals, d.Start))
+		o.PostInterarrival = meanInterarrival(arrivalsAfter(arrivals, d.End))
+		if o.PreInterarrival > 0 && o.PostInterarrival > 0 {
+			o.IterDelta = o.PostInterarrival - o.PreInterarrival
+		}
+		if o.PostInterarrival > 0 && d.FinalCost > 0 {
+			o.PredErr = (o.PostInterarrival - d.FinalCost) / d.FinalCost
+		}
+		for _, mv := range d.Moves {
+			// The engine commits a policy's move as the first later
+			// relocation of the same operator to the same destination.
+			for _, c := range commits {
+				if c.used || c.at < d.Start || c.op != mv.Op || c.to != mv.To {
+					continue
+				}
+				c.used = true
+				o.CommittedMoves++
+				o.RelocationBytes += c.bytes
+				// Reverted: a later commit sends the operator straight back.
+				for _, r := range commits {
+					if r.at > c.at && r.op == mv.Op && r.to == c.from {
+						o.Reverted = true
+						break
+					}
+				}
+				break
+			}
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+func arrivalsBefore(arrivals []int64, t int64) []int64 {
+	i := sort.Search(len(arrivals), func(i int) bool { return arrivals[i] >= t })
+	lo := i - attributionWindow - 1
+	if lo < 0 {
+		lo = 0
+	}
+	return arrivals[lo:i]
+}
+
+func arrivalsAfter(arrivals []int64, t int64) []int64 {
+	i := sort.Search(len(arrivals), func(i int) bool { return arrivals[i] > t })
+	hi := i + attributionWindow + 1
+	if hi > len(arrivals) {
+		hi = len(arrivals)
+	}
+	return arrivals[i:hi]
+}
+
+// meanInterarrival returns the mean gap between consecutive times, in
+// seconds (0 when fewer than two).
+func meanInterarrival(ts []int64) float64 {
+	if len(ts) < 2 {
+		return 0
+	}
+	return float64(ts[len(ts)-1]-ts[0]) / float64(len(ts)-1) / 1e9
+}
+
+// DecisionReport aggregates attributed decisions per algorithm.
+type DecisionReport struct {
+	Algorithm string
+	// Decisions, Candidates, Moves count the audit records.
+	Decisions, Candidates, Moves int
+	// CommittedMoves and Reverted count realized relocations and decisions
+	// whose effect was later undone; RelocationBytes is the total held
+	// output that travelled with commits.
+	CommittedMoves, Reverted int
+	RelocationBytes          int64
+	// ProbeFraction is the fraction of snapshot lookups that cost a fresh
+	// on-demand probe (the rest were cache hits).
+	ProbeFraction float64
+	// MeanPredictedGain is the mean predicted gain of chosen moves
+	// (seconds); MeanIterDelta the mean realized iteration-time change
+	// (seconds, over attributable decisions; negative = faster).
+	MeanPredictedGain float64
+	MeanIterDelta     float64
+	// MeanAbsPredErr and P90AbsPredErr summarise |relative prediction
+	// error| of the chosen cost vs the realized interarrival, over
+	// attributable decisions.
+	MeanAbsPredErr float64
+	P90AbsPredErr  float64
+	// Attributed is how many decisions had enough arrivals around them to
+	// be scored.
+	Attributed int
+}
+
+// BuildReports aggregates outcomes into one report per algorithm, sorted by
+// algorithm name.
+func BuildReports(outcomes []Outcome) []DecisionReport {
+	byAlg := map[string]*DecisionReport{}
+	errsByAlg := map[string][]float64{}
+	gains := map[string]float64{}
+	deltas := map[string]float64{}
+	deltaN := map[string]int{}
+	for _, o := range outcomes {
+		r := byAlg[o.Algorithm]
+		if r == nil {
+			r = &DecisionReport{Algorithm: o.Algorithm}
+			byAlg[o.Algorithm] = r
+		}
+		r.Decisions++
+		r.Candidates += len(o.Candidates)
+		r.Moves += len(o.Moves)
+		r.CommittedMoves += o.CommittedMoves
+		r.RelocationBytes += o.RelocationBytes
+		if o.Reverted {
+			r.Reverted++
+		}
+		probes := 0
+		for _, b := range o.Bandwidth {
+			if b.Probed {
+				probes++
+			}
+		}
+		// ProbeFraction finalised below from accumulated counts; stash the
+		// numerator/denominator in the float pair meanwhile.
+		r.ProbeFraction += float64(probes)
+		gains[o.Algorithm] += sumGains(o.Moves)
+		if !math.IsNaN(o.PredErr) {
+			r.Attributed++
+			errsByAlg[o.Algorithm] = append(errsByAlg[o.Algorithm], math.Abs(o.PredErr))
+		}
+		if o.PreInterarrival > 0 && o.PostInterarrival > 0 {
+			deltas[o.Algorithm] += o.IterDelta
+			deltaN[o.Algorithm]++
+		}
+	}
+	var out []DecisionReport
+	for alg, r := range byAlg {
+		lookups := 0
+		for _, o := range outcomes {
+			if o.Algorithm == alg {
+				lookups += len(o.Bandwidth)
+			}
+		}
+		if lookups > 0 {
+			r.ProbeFraction /= float64(lookups)
+		} else {
+			r.ProbeFraction = 0
+		}
+		if r.Moves > 0 {
+			r.MeanPredictedGain = gains[alg] / float64(r.Moves)
+		}
+		if n := deltaN[alg]; n > 0 {
+			r.MeanIterDelta = deltas[alg] / float64(n)
+		}
+		if errs := errsByAlg[alg]; len(errs) > 0 {
+			sum := 0.0
+			for _, e := range errs {
+				sum += e
+			}
+			r.MeanAbsPredErr = sum / float64(len(errs))
+			sort.Float64s(errs)
+			r.P90AbsPredErr = errs[int(0.9*float64(len(errs)-1))]
+		}
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Algorithm < out[j].Algorithm })
+	return out
+}
+
+func sumGains(moves []MoveSample) float64 {
+	s := 0.0
+	for _, m := range moves {
+		s += m.Gain
+	}
+	return s
+}
+
+// FormatDecisionReports renders per-algorithm reports as a fixed-width table
+// (the `simscope decisions` output; pinned by a golden test).
+func FormatDecisionReports(reports []DecisionReport) string {
+	var sb strings.Builder
+	sb.WriteString("placement-decision audit (predictions vs realized outcomes):\n")
+	sb.WriteString("  algorithm  decisions  cands  moves  committed  reverted  probe%  gain(s)  Δiter(s)  |prederr|  p90\n")
+	for _, r := range reports {
+		fmt.Fprintf(&sb, "  %-9s  %9d  %5d  %5d  %9d  %8d  %5.1f%%  %7.3f  %+8.3f  %9.3f  %.3f\n",
+			r.Algorithm, r.Decisions, r.Candidates, r.Moves, r.CommittedMoves,
+			r.Reverted, r.ProbeFraction*100, r.MeanPredictedGain,
+			r.MeanIterDelta, r.MeanAbsPredErr, r.P90AbsPredErr)
+	}
+	return sb.String()
+}
+
+// FormatDecisionTable renders every attributed decision as one audit line,
+// chronologically (the `simscope decisions -v` output).
+func FormatDecisionTable(outcomes []Outcome) string {
+	var sb strings.Builder
+	sb.WriteString("  seq  t(s)      alg       iter  cands  moves  predicted(s)  post-iter(s)  prederr\n")
+	for _, o := range outcomes {
+		pe := "      -"
+		if !math.IsNaN(o.PredErr) {
+			pe = fmt.Sprintf("%+7.2f", o.PredErr)
+		}
+		rev := ""
+		if o.Reverted {
+			rev = "  REVERTED"
+		}
+		fmt.Fprintf(&sb, "  %3d  %-8.1f  %-8s  %4d  %5d  %5d  %12.3f  %12.3f  %s%s\n",
+			o.Seq, float64(o.Start)/1e9, o.Algorithm, o.Iter,
+			len(o.Candidates), len(o.Moves), o.FinalCost, o.PostInterarrival, pe, rev)
+	}
+	return sb.String()
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wadc/internal/telemetry"
+)
+
+// LogSummary condenses one event log for diffing.
+type LogSummary struct {
+	// Events is the log length; Hash the FNV-1a digest over every field of
+	// every event (telemetry.Hash).
+	Events int
+	Hash   uint64
+	// Completion is the last image-arrived time (ns; 0 if none) and
+	// Iterations the number of image arrivals.
+	Completion int64
+	Iterations int
+}
+
+// Summarize condenses an event log.
+func Summarize(events []telemetry.Event) LogSummary {
+	s := LogSummary{Events: len(events), Hash: telemetry.Hash(events)}
+	for _, ev := range events {
+		if ev.Kind == telemetry.KindImageArrived {
+			s.Iterations++
+			if ev.At > s.Completion {
+				s.Completion = ev.At
+			}
+		}
+	}
+	return s
+}
+
+// Divergence pinpoints where two event logs stop agreeing.
+type Divergence struct {
+	// Index is the first position where the logs differ (len of the shorter
+	// log when one is a strict prefix of the other).
+	Index int
+	// A and B are the first differing events (zero Event past a log's end).
+	A, B telemetry.Event
+	// Iteration is the first iteration whose image arrived at a different
+	// time in the two logs (-1 when arrival sequences agree).
+	Iteration int32
+	// KindDeltas lists per-kind event-count differences (count in B minus
+	// count in A), sorted by kind name, only non-zero entries.
+	KindDeltas []KindDelta
+}
+
+// KindDelta is one per-kind count difference.
+type KindDelta struct {
+	Kind  telemetry.Kind
+	Delta int
+}
+
+// DiffResult compares two runs' event logs.
+type DiffResult struct {
+	A, B LogSummary
+	// Identical is true when the logs match event-for-event (same length,
+	// same hash): the runs were behaviourally indistinguishable.
+	Identical bool
+	// Divergence is set when Identical is false.
+	Divergence *Divergence
+}
+
+// DiffLogs aligns two event logs (two runs of the same seed and
+// configuration should be identical; anything else diverges) and reports the
+// first difference. Kernel-level events are compared too when present, so
+// filtered and unfiltered logs of the same run deliberately diverge.
+func DiffLogs(a, b []telemetry.Event) DiffResult {
+	res := DiffResult{A: Summarize(a), B: Summarize(b)}
+	if res.A.Events == res.B.Events && res.A.Hash == res.B.Hash {
+		res.Identical = true
+		return res
+	}
+	d := &Divergence{Index: -1, Iteration: -1}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			d.Index = i
+			d.A, d.B = a[i], b[i]
+			break
+		}
+	}
+	if d.Index == -1 && len(a) != len(b) {
+		d.Index = n
+		if len(a) > n {
+			d.A = a[n]
+		}
+		if len(b) > n {
+			d.B = b[n]
+		}
+	}
+	d.Iteration = firstArrivalDivergence(a, b)
+	d.KindDeltas = kindDeltas(a, b)
+	res.Divergence = d
+	return res
+}
+
+func firstArrivalDivergence(a, b []telemetry.Event) int32 {
+	arr := func(events []telemetry.Event) map[int32]int64 {
+		m := map[int32]int64{}
+		for _, ev := range events {
+			if ev.Kind == telemetry.KindImageArrived {
+				if _, ok := m[ev.Iter]; !ok {
+					m[ev.Iter] = ev.At
+				}
+			}
+		}
+		return m
+	}
+	ma, mb := arr(a), arr(b)
+	var iters []int32
+	for it := range ma {
+		iters = append(iters, it)
+	}
+	for it := range mb {
+		if _, ok := ma[it]; !ok {
+			iters = append(iters, it)
+		}
+	}
+	sort.Slice(iters, func(i, j int) bool { return iters[i] < iters[j] })
+	for _, it := range iters {
+		ta, oka := ma[it]
+		tb, okb := mb[it]
+		if !oka || !okb || ta != tb {
+			return it
+		}
+	}
+	return -1
+}
+
+func kindDeltas(a, b []telemetry.Event) []KindDelta {
+	counts := map[telemetry.Kind]int{}
+	for _, ev := range a {
+		counts[ev.Kind]--
+	}
+	for _, ev := range b {
+		counts[ev.Kind]++
+	}
+	var out []KindDelta
+	for k, d := range counts {
+		if d != 0 {
+			out = append(out, KindDelta{Kind: k, Delta: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind.String() < out[j].Kind.String() })
+	return out
+}
+
+// String renders the diff for `simscope diff`.
+func (r DiffResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "log A: %d events, hash %016x, %d iterations, completion %.3fs\n",
+		r.A.Events, r.A.Hash, r.A.Iterations, float64(r.A.Completion)/1e9)
+	fmt.Fprintf(&sb, "log B: %d events, hash %016x, %d iterations, completion %.3fs\n",
+		r.B.Events, r.B.Hash, r.B.Iterations, float64(r.B.Completion)/1e9)
+	if r.Identical {
+		sb.WriteString("verdict: IDENTICAL — zero divergence, runs are event-for-event equal\n")
+		return sb.String()
+	}
+	sb.WriteString("verdict: DIVERGED\n")
+	d := r.Divergence
+	if d.Index >= 0 {
+		fmt.Fprintf(&sb, "first divergence at event %d:\n", d.Index)
+		fmt.Fprintf(&sb, "  A: %s\n  B: %s\n", formatEvent(d.A), formatEvent(d.B))
+	}
+	if d.Iteration >= 0 {
+		fmt.Fprintf(&sb, "first diverging iteration: %d (image arrival time differs)\n", d.Iteration)
+	} else {
+		sb.WriteString("image arrival sequences agree (divergence is observational only)\n")
+	}
+	if len(d.KindDeltas) > 0 {
+		sb.WriteString("event-count deltas (B - A):\n")
+		for _, kd := range d.KindDeltas {
+			fmt.Fprintf(&sb, "  %-22s %+d\n", kd.Kind, kd.Delta)
+		}
+	}
+	return sb.String()
+}
+
+func formatEvent(ev telemetry.Event) string {
+	if ev.Kind == telemetry.KindNone {
+		return "<past end of log>"
+	}
+	return fmt.Sprintf("t=%.6fs %s host=%d peer=%d node=%d iter=%d bytes=%d value=%g seq=%d name=%q aux=%q",
+		float64(ev.At)/1e9, ev.Kind, ev.Host, ev.Peer, ev.Node, ev.Iter,
+		ev.Bytes, ev.Value, ev.Seq, ev.Name, ev.Aux)
+}

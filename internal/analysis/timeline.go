@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wadc/internal/telemetry"
+)
+
+// FormatTimeline renders a run's placement history from its event log alone:
+// the initial placement (operator-placed events), then every placement
+// decision (with the critical path and predicted cost the optimiser saw) and
+// every committed relocation in time order, and a completion summary. This
+// is the `simscope timeline` output.
+func FormatTimeline(events []telemetry.Event) string {
+	var sb strings.Builder
+
+	// Initial placement.
+	type placed struct {
+		node int32
+		host int32
+		role string
+	}
+	var initial []placed
+	for _, ev := range events {
+		if ev.Kind == telemetry.KindOperatorPlaced {
+			initial = append(initial, placed{ev.Node, ev.Host, ev.Aux})
+		}
+	}
+	sort.Slice(initial, func(i, j int) bool { return initial[i].node < initial[j].node })
+	sb.WriteString("initial placement:\n")
+	if len(initial) == 0 {
+		sb.WriteString("  (no operator-placed events in log)\n")
+	}
+	for _, pl := range initial {
+		fmt.Fprintf(&sb, "  n%-3d %-8s @ host %d\n", pl.node, pl.role, pl.host)
+	}
+
+	// Chronology: decisions and committed relocations, merged by time.
+	type entry struct {
+		at   int64
+		line string
+	}
+	var entries []entry
+	for _, d := range ExtractDecisions(events) {
+		moves := ""
+		for _, m := range d.Moves {
+			moves += fmt.Sprintf(" move n%d h%d→h%d (gain %.3fs)", m.Op, m.From, m.To, m.Gain)
+		}
+		if moves == "" {
+			moves = " keep"
+		}
+		entries = append(entries, entry{d.Start, fmt.Sprintf(
+			"decision #%d %s: path [%s] cost %.3fs → %.3fs, %d candidates,%s",
+			d.Seq, d.Algorithm, joinInt32(d.Path), d.StartCost, d.FinalCost,
+			len(d.Candidates), moves)})
+	}
+	for _, ev := range events {
+		if ev.Kind == telemetry.KindRelocationCommitted {
+			entries = append(entries, entry{ev.At, fmt.Sprintf(
+				"commit: n%d h%d→h%d (%s, %d bytes moved)",
+				ev.Node, ev.Host, ev.Peer, ev.Aux, ev.Bytes)})
+		}
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].at < entries[j].at })
+	if len(entries) > 0 {
+		sb.WriteString("placement history:\n")
+		for _, e := range entries {
+			fmt.Fprintf(&sb, "  t=%-10.3f %s\n", float64(e.at)/1e9, e.line)
+		}
+	}
+
+	// Completion summary from image arrivals.
+	var arrivals []int64
+	for _, ev := range events {
+		if ev.Kind == telemetry.KindImageArrived {
+			arrivals = append(arrivals, ev.At)
+		}
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+	if n := len(arrivals); n > 0 {
+		fmt.Fprintf(&sb, "run: %d iterations, completion %.3fs, mean interarrival %.3fs\n",
+			n, float64(arrivals[n-1])/1e9, meanInterarrival(arrivals))
+	}
+	return sb.String()
+}
+
+func joinInt32(ids []int32) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return strings.Join(parts, ",")
+}

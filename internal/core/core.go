@@ -134,6 +134,10 @@ type RunResult struct {
 	// Metrics is the run's metric snapshot (nil unless
 	// RunConfig.CollectMetrics was set).
 	Metrics *telemetry.Snapshot
+	// Decisions summarises the policy's placement-decision activity
+	// (zero for policies that keep no stats, e.g. download-all and the
+	// stateless one-shot value).
+	Decisions placement.DecisionStats
 }
 
 // Run executes one complete simulation and returns its result.
@@ -257,6 +261,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	if collector != nil {
 		res.Metrics = collector.Snapshot()
+	}
+	if da, ok := cfg.Policy.(placement.DecisionAudited); ok {
+		res.Decisions = da.DecisionStats()
 	}
 	return res, nil
 }

@@ -353,6 +353,26 @@ func (e *Engine) Aborted() bool { return e.aborted }
 func (e *Engine) Start() {
 	e.tel = e.k.Telemetry()
 	t := e.cfg.Tree
+	if e.tel != nil {
+		// Record the initial placement so an event log is self-contained.
+		for _, s := range t.Servers() {
+			e.k.Emit(telemetry.Event{
+				Kind: telemetry.KindOperatorPlaced,
+				Node: int32(s), Host: int32(e.nodes[s].host), Aux: "server",
+			})
+		}
+		for _, op := range t.Operators() {
+			e.k.Emit(telemetry.Event{
+				Kind: telemetry.KindOperatorPlaced,
+				Node: int32(op), Host: int32(e.nodes[op].host), Aux: "operator",
+			})
+		}
+		cid := t.ClientNode()
+		e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindOperatorPlaced,
+			Node: int32(cid), Host: int32(e.nodes[cid].host), Aux: "client",
+		})
+	}
 	for _, s := range t.Servers() {
 		n := e.nodes[s]
 		if e.resilient() {

@@ -464,6 +464,12 @@ func (n *node) clientLoop(p *sim.Proc) {
 					panic(fmt.Sprintf("dataflow: client expected iter %d, got %d", it, got.iter))
 				}
 				arrivals = append(arrivals, p.Now())
+				if e.tel != nil {
+					e.k.Emit(telemetry.Event{
+						Kind: telemetry.KindImageArrived,
+						Host: int32(n.host), Iter: int32(it), Bytes: got.bytes,
+					})
+				}
 				break
 			}
 			if got.kind == kindIterReport {

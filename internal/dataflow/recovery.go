@@ -558,6 +558,12 @@ func (n *node) resilientClientLoop(p *sim.Proc) {
 		f := &fetchState{iter: it, prop: prop, targets: []plan.NodeID{root}}
 		n.runFetch(p, f, func(plan.NodeID) bool { return true })
 		arrivals = append(arrivals, p.Now())
+		if e.tel != nil {
+			e.k.Emit(telemetry.Event{
+				Kind: telemetry.KindImageArrived,
+				Host: int32(n.host), Iter: int32(it), Bytes: f.got[root],
+			})
+		}
 	}
 	e.finish(arrivals)
 }

@@ -335,15 +335,25 @@ func (s *System) doProbe(p *sim.Proc, viewer, a, b netmodel.HostID) trace.Bandwi
 // cache entry if available, otherwise an on-demand probe. Same-host "links"
 // are reported as infinitely fast via a very large constant.
 func (s *System) Estimate(p *sim.Proc, viewer, a, b netmodel.HostID) trace.Bandwidth {
+	bw, _ := s.EstimateDetail(p, viewer, a, b)
+	return bw
+}
+
+// EstimateDetail is Estimate plus provenance: fromCache reports whether the
+// value was served from viewer's cache (true) or cost an on-demand probe
+// (false). The placement-decision audit trail records this per link, so
+// prediction errors can be attributed to stale cache entries vs fresh
+// measurements. Same-host lookups count as cache hits.
+func (s *System) EstimateDetail(p *sim.Proc, viewer, a, b netmodel.HostID) (bw trace.Bandwidth, fromCache bool) {
 	if a == b {
-		return localBandwidth
+		return localBandwidth, true
 	}
 	if e, ok := s.Cache(viewer).Lookup(a, b); ok {
 		s.cacheHits++
-		return e.BW
+		return e.BW, true
 	}
 	s.cacheMisses++
-	return s.Probe(p, viewer, a, b)
+	return s.Probe(p, viewer, a, b), false
 }
 
 // localBandwidth stands in for "no network hop": transfers between co-located

@@ -1,0 +1,195 @@
+package placement
+
+import (
+	"strconv"
+
+	"wadc/internal/netmodel"
+	"wadc/internal/plan"
+	"wadc/internal/sim"
+	"wadc/internal/telemetry"
+)
+
+// DecisionStats summarises a policy's placement-decision activity over a run.
+// The counters are maintained whether or not telemetry is attached, so
+// core.RunResult can always report them; the full per-decision audit trail
+// (candidates, bandwidth snapshots, predicted gains) flows through the
+// telemetry event stream only when a sink is installed.
+type DecisionStats struct {
+	// Decisions is the number of placement decisions evaluated (critical-path
+	// optimisation passes; the local algorithm counts only epochs where the
+	// operator believed itself critical and actually searched).
+	Decisions int
+	// Candidates is the total number of (operator, host) alternatives scored.
+	Candidates int
+	// Moves is the number of moves the decisions chose (each global
+	// optimisation round that improved the placement, each local relocation).
+	Moves int
+	// PredictedGain is the summed predicted improvement of all chosen moves,
+	// in seconds of critical-path length.
+	PredictedGain float64
+}
+
+// DecisionAudited is implemented by policies that keep DecisionStats.
+type DecisionAudited interface {
+	DecisionStats() DecisionStats
+}
+
+// Auditor issues the placement-decision audit records — Seq-correlated
+// decision-* event sequences — for one policy, and keeps DecisionStats. The
+// zero value is valid and silent; Bind attaches it to a kernel, and records
+// emit only when that kernel has a telemetry sink (guard-before-construct:
+// with telemetry disabled no event is built and no allocation happens). A
+// nil *Auditor is also valid everywhere and records nothing.
+type Auditor struct {
+	k     *sim.Kernel // nil unless the bound kernel has a live telemetry sink
+	alg   string
+	seq   int64
+	stats DecisionStats
+}
+
+// Bind names the auditor's algorithm and attaches it to k's telemetry sink
+// (if any). Idempotent; safe to call from both InitialPlacement and Attach.
+func (a *Auditor) Bind(k *sim.Kernel, alg string) {
+	if a == nil {
+		return
+	}
+	a.alg = alg
+	if k != nil && k.Telemetry() != nil {
+		a.k = k
+	}
+}
+
+// Stats returns the accumulated decision statistics.
+func (a *Auditor) Stats() DecisionStats {
+	if a == nil {
+		return DecisionStats{}
+	}
+	return a.stats
+}
+
+// Decision is one open decision record. It is a small value handle carrying
+// its own sequence id, so concurrently open records (local decisions whose
+// monitoring probes suspend the deciding operator mid-search) stay
+// correctly correlated. The zero Decision — and any Decision started on a
+// nil Auditor — is valid and records nothing.
+type Decision struct {
+	a   *Auditor
+	seq int64
+}
+
+// StartDecision opens a new decision record. decider is the host whose
+// bandwidth view the decision uses; iter is the dataflow iteration it is
+// tied to (-1 when none, e.g. the periodic global placer).
+func (a *Auditor) StartDecision(decider netmodel.HostID, iter int) Decision {
+	if a == nil {
+		return Decision{}
+	}
+	a.seq++
+	a.stats.Decisions++
+	d := Decision{a: a, seq: a.seq}
+	if a.k == nil {
+		return d
+	}
+	a.k.Emit(telemetry.Event{
+		Kind: telemetry.KindDecisionStart,
+		Host: int32(decider), Iter: int32(iter), Seq: d.seq, Aux: a.alg,
+	})
+	return d
+}
+
+// Seq returns the record's sequence id (0 for a silent handle).
+func (d Decision) Seq() int64 { return d.seq }
+
+// Bandwidth records one link of the decision's bandwidth snapshot: the value
+// the optimiser saw for a<->b and whether it came from the viewer's cache or
+// cost a fresh probe.
+func (d Decision) Bandwidth(ha, hb netmodel.HostID, bw float64, fromCache bool) {
+	if d.a == nil || d.a.k == nil {
+		return
+	}
+	src := "probe"
+	if fromCache {
+		src = "cache"
+	}
+	d.a.k.Emit(telemetry.Event{
+		Kind: telemetry.KindDecisionBandwidth,
+		Host: int32(ha), Peer: int32(hb), Value: bw, Seq: d.seq, Aux: src,
+	})
+}
+
+// Path records the critical path the decision started from and the predicted
+// cost (seconds) of the placement it is trying to improve.
+func (d Decision) Path(cost float64, path []plan.NodeID) {
+	if d.a == nil || d.a.k == nil {
+		return
+	}
+	d.a.k.Emit(telemetry.Event{
+		Kind:  telemetry.KindDecisionPath,
+		Value: cost, Seq: d.seq, Name: joinNodeIDs(path),
+	})
+}
+
+// Candidate records one evaluated alternative: moving op from its current
+// host to cand would yield predicted cost (seconds). round is the optimiser
+// round (0 for the local algorithm); extra marks the local algorithm's
+// random additional candidates.
+func (d Decision) Candidate(op plan.NodeID, from, cand netmodel.HostID, round int, cost float64, extra bool) {
+	if d.a == nil {
+		return
+	}
+	d.a.stats.Candidates++
+	if d.a.k == nil {
+		return
+	}
+	aux := ""
+	if extra {
+		aux = "extra"
+	}
+	d.a.k.Emit(telemetry.Event{
+		Kind: telemetry.KindDecisionCandidate,
+		Node: int32(op), Host: int32(from), Peer: int32(cand),
+		Iter: int32(round), Value: cost, Seq: d.seq, Aux: aux,
+	})
+}
+
+// Move records a chosen move and its predicted gain (seconds).
+func (d Decision) Move(op plan.NodeID, from, to netmodel.HostID, gain float64) {
+	if d.a == nil {
+		return
+	}
+	d.a.stats.Moves++
+	d.a.stats.PredictedGain += gain
+	if d.a.k == nil {
+		return
+	}
+	d.a.k.Emit(telemetry.Event{
+		Kind: telemetry.KindDecisionMove,
+		Node: int32(op), Host: int32(from), Peer: int32(to),
+		Value: gain, Seq: d.seq,
+	})
+}
+
+// End closes the record with the predicted cost of the chosen placement and
+// the number of candidates this decision evaluated.
+func (d Decision) End(finalCost float64, candidates int) {
+	if d.a == nil || d.a.k == nil {
+		return
+	}
+	d.a.k.Emit(telemetry.Event{
+		Kind:  telemetry.KindDecisionEnd,
+		Value: finalCost, Bytes: int64(candidates), Seq: d.seq,
+	})
+}
+
+// joinNodeIDs renders a node-id path as "a,b,c" (the KindDecisionPath Name
+// encoding, parsed back by the analysis package).
+func joinNodeIDs(path []plan.NodeID) string {
+	buf := make([]byte, 0, 4*len(path))
+	for i, id := range path {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(id), 10)
+	}
+	return string(buf)
+}

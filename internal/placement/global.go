@@ -22,6 +22,7 @@ type Global struct {
 
 	// stats
 	proposals int
+	au        Auditor
 }
 
 // Name implements Policy.
@@ -30,11 +31,16 @@ func (g *Global) Name() string { return "global" }
 // Proposals returns how many change-overs the policy proposed.
 func (g *Global) Proposals() int { return g.proposals }
 
+// DecisionStats implements DecisionAudited.
+func (g *Global) DecisionStats() DecisionStats { return g.au.Stats() }
+
 // InitialPlacement implements Policy: identical to the one-shot algorithm
 // (the global algorithm's only modification is at runtime).
 func (g *Global) InitialPlacement(p *sim.Proc, x *Instance) *plan.Placement {
-	bw := x.SnapshotBW(p, x.ClientHost)
-	return OneShotOptimize(x.DownloadAllPlacement(), x.Hosts, x.Model, bw)
+	g.au.Bind(p.Kernel(), "global")
+	d := g.au.StartDecision(x.ClientHost, -1)
+	bw := x.AuditedSnapshotBW(p, x.ClientHost, d)
+	return OneShotOptimizeAudited(x.DownloadAllPlacement(), x.Hosts, x.Model, bw, d)
 }
 
 // Attach implements Policy: spawn the periodic placer process at the client.
@@ -43,6 +49,7 @@ func (g *Global) Attach(x *Instance, e *dataflow.Engine) {
 	if period <= 0 {
 		period = DefaultPeriod
 	}
+	g.au.Bind(e.Kernel(), "global")
 	e.Kernel().Spawn("global-placer", func(p *sim.Proc) {
 		for {
 			p.Hold(period)
@@ -53,8 +60,9 @@ func (g *Global) Attach(x *Instance, e *dataflow.Engine) {
 				continue // previous change-over still draining
 			}
 			cur := e.CurrentPlacement()
-			bw := x.SnapshotBW(p, x.ClientHost)
-			next := OneShotOptimize(cur, x.Hosts, x.Model, bw)
+			d := g.au.StartDecision(x.ClientHost, -1)
+			bw := x.AuditedSnapshotBW(p, x.ClientHost, d)
+			next := OneShotOptimizeAudited(cur, x.Hosts, x.Model, bw, d)
 			if e.Completed() || e.Aborted() {
 				return // probes may have outlived the run
 			}

@@ -51,7 +51,11 @@ type Local struct {
 	// stats
 	decisions int
 	moves     int
+	au        Auditor
 }
+
+// DecisionStats implements DecisionAudited.
+func (l *Local) DecisionStats() DecisionStats { return l.au.Stats() }
 
 // Name implements Policy.
 func (l *Local) Name() string { return "local" }
@@ -62,8 +66,10 @@ func (l *Local) Decisions() int { return l.decisions }
 // InitialPlacement implements Policy: "The local algorithm uses the one-shot
 // algorithm to compute a good initial placement."
 func (l *Local) InitialPlacement(p *sim.Proc, x *Instance) *plan.Placement {
-	bw := x.SnapshotBW(p, x.ClientHost)
-	return OneShotOptimize(x.DownloadAllPlacement(), x.Hosts, x.Model, bw)
+	l.au.Bind(p.Kernel(), "local")
+	d := l.au.StartDecision(x.ClientHost, -1)
+	bw := x.AuditedSnapshotBW(p, x.ClientHost, d)
+	return OneShotOptimizeAudited(x.DownloadAllPlacement(), x.Hosts, x.Model, bw, d)
 }
 
 // Attach implements Policy: install the relocation-window hook.
@@ -100,12 +106,12 @@ func (l *Local) Attach(x *Instance, e *dataflow.Engine) {
 			return 0, false
 		}
 		l.lastActed[op] = mine
-		return l.actAtEpochEnd(p, x, e, op)
+		return l.actAtEpochEnd(p, x, e, op, iter)
 	})
 }
 
 // actAtEpochEnd is steps (2)-(3) of §2.3 plus the local repositioning.
-func (l *Local) actAtEpochEnd(p *sim.Proc, x *Instance, e *dataflow.Engine, op plan.NodeID) (netmodel.HostID, bool) {
+func (l *Local) actAtEpochEnd(p *sim.Proc, x *Instance, e *dataflow.Engine, op plan.NodeID, iter int) (netmodel.HostID, bool) {
 	l.decisions++
 	marks, sends, consumerCritical := e.Counters(op)
 	e.ResetCounters(op)
@@ -127,25 +133,35 @@ func (l *Local) actAtEpochEnd(p *sim.Proc, x *Instance, e *dataflow.Engine, op p
 	prodB := e.NeighborHost(op, node.Children[1])
 	cons := e.NeighborHost(op, node.Parent)
 	candidates := dedupeHosts([]netmodel.HostID{cur, prodA, prodB, cons})
+	base := len(candidates) // candidates beyond this index are random extras
 	candidates = l.addRandomExtras(candidates, x.Hosts)
 
 	// Minimise the local critical path: the longest producer→op→consumer
 	// chain, evaluated with the operator's own (local) bandwidth view.
-	bw := x.SnapshotBW(p, cur)
-	best, bestCost := cur, localPathCost(x.Model, prodA, prodB, cur, cons, bw)
-	for _, cand := range candidates {
+	d := l.au.StartDecision(cur, iter)
+	bw := x.AuditedSnapshotBW(p, cur, d)
+	curCost := localPathCost(x.Model, prodA, prodB, cur, cons, bw)
+	best, bestCost := cur, curCost
+	d.Path(curCost, []plan.NodeID{node.Children[0], node.Children[1], op, node.Parent})
+	evaluated := 0
+	for i, cand := range candidates {
 		if cand == cur {
 			continue
 		}
 		c := localPathCost(x.Model, prodA, prodB, cand, cons, bw)
+		evaluated++
+		d.Candidate(op, cur, cand, 0, c, i >= base)
 		if c < bestCost-improvementEps {
 			best, bestCost = cand, c
 		}
 	}
 	if best == cur {
+		d.End(bestCost, evaluated)
 		return 0, false
 	}
 	l.moves++
+	d.Move(op, cur, best, curCost-bestCost)
+	d.End(bestCost, evaluated)
 	if k := e.Kernel(); k.Telemetry() != nil {
 		k.Emit(telemetry.Event{
 			Kind: telemetry.KindRelocationProposed,

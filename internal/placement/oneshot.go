@@ -27,12 +27,28 @@ const maxOneShotRounds = 10000
 //
 // The returned placement is a new value; the input is not modified.
 func OneShotOptimize(initial *plan.Placement, hosts []netmodel.HostID, model plan.CostModel, bw plan.BandwidthFn) *plan.Placement {
+	return OneShotOptimizeAudited(initial, hosts, model, bw, Decision{})
+}
+
+// OneShotOptimizeAudited is OneShotOptimize with a decision audit trail: the
+// starting critical path, every candidate evaluated (with its predicted
+// cost), each adopted move (with its predicted gain) and the final predicted
+// cost are recorded on the open decision record d (callers call
+// Auditor.StartDecision first; this function closes the record with d.End).
+// A zero d is exactly OneShotOptimize: the search itself is byte-identical
+// either way.
+func OneShotOptimizeAudited(initial *plan.Placement, hosts []netmodel.HostID, model plan.CostModel, bw plan.BandwidthFn, d Decision) *plan.Placement {
 	cur := initial.Clone()
-	curCost := model.Evaluate(cur, bw).Cost
+	first := model.Evaluate(cur, bw)
+	d.Path(first.Cost, first.Path)
+	curCost := first.Cost
+	candidates := 0
 	for round := 0; round < maxOneShotRounds; round++ {
 		eval := model.Evaluate(cur, bw)
 		bestCost := curCost
 		var best *plan.Placement
+		var bestOp plan.NodeID
+		var bestFrom, bestTo netmodel.HostID
 		for _, op := range eval.CriticalOperators(cur.Tree()) {
 			for _, h := range hosts {
 				if h == cur.Loc(op) {
@@ -41,18 +57,23 @@ func OneShotOptimize(initial *plan.Placement, hosts []netmodel.HostID, model pla
 				cand := cur.Clone()
 				cand.SetLoc(op, h)
 				c := model.Evaluate(cand, bw).Cost
+				candidates++
+				d.Candidate(op, cur.Loc(op), h, round, c, false)
 				if c < bestCost-improvementEps {
 					bestCost = c
 					best = cand
+					bestOp, bestFrom, bestTo = op, cur.Loc(op), h
 				}
 			}
 		}
 		if best == nil {
 			break
 		}
+		d.Move(bestOp, bestFrom, bestTo, curCost-bestCost)
 		cur = best
 		curCost = bestCost
 	}
+	d.End(curCost, candidates)
 	return cur
 }
 
@@ -81,10 +102,15 @@ func (OneShot) Name() string { return "one-shot" }
 
 // InitialPlacement implements Policy: probes for unknown links are charged
 // to p, so the optimisation delays the start of the computation — exactly
-// the cost profile of a start-up-time planner.
+// the cost profile of a start-up-time planner. The pass is audited as one
+// decision record (OneShot is a stateless value, so its DecisionStats live
+// only in the event stream).
 func (OneShot) InitialPlacement(p *sim.Proc, x *Instance) *plan.Placement {
-	bw := x.SnapshotBW(p, x.ClientHost)
-	return OneShotOptimize(x.DownloadAllPlacement(), x.Hosts, x.Model, bw)
+	au := &Auditor{}
+	au.Bind(p.Kernel(), "one-shot")
+	d := au.StartDecision(x.ClientHost, -1)
+	bw := x.AuditedSnapshotBW(p, x.ClientHost, d)
+	return OneShotOptimizeAudited(x.DownloadAllPlacement(), x.Hosts, x.Model, bw, d)
 }
 
 // Attach implements Policy: one-shot has no runtime behaviour.

@@ -78,6 +78,15 @@ func (x *Instance) DownloadAllPlacement() *plan.Placement {
 // the host whose cache answers lookups; p is the process charged for any
 // on-demand probes.
 func (x *Instance) SnapshotBW(p *sim.Proc, viewer netmodel.HostID) plan.BandwidthFn {
+	return x.AuditedSnapshotBW(p, viewer, Decision{})
+}
+
+// AuditedSnapshotBW is SnapshotBW plus the decision audit trail: the first
+// lookup of each distinct link additionally records the served value — and
+// whether it came from the viewer's cache or a fresh probe — as a
+// decision-bandwidth event on the open decision record d. A zero d is
+// SnapshotBW.
+func (x *Instance) AuditedSnapshotBW(p *sim.Proc, viewer netmodel.HostID, d Decision) plan.BandwidthFn {
 	type key [2]netmodel.HostID
 	memo := make(map[key]trace.Bandwidth)
 	return func(a, b netmodel.HostID) trace.Bandwidth {
@@ -88,7 +97,8 @@ func (x *Instance) SnapshotBW(p *sim.Proc, viewer netmodel.HostID) plan.Bandwidt
 		if v, ok := memo[k]; ok {
 			return v
 		}
-		v := x.Mon.Estimate(p, viewer, a, b)
+		v, fromCache := x.Mon.EstimateDetail(p, viewer, a, b)
+		d.Bandwidth(k[0], k[1], float64(v), fromCache)
 		memo[k] = v
 		return v
 	}

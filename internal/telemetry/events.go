@@ -117,6 +117,45 @@ const (
 	// moving operator Node from Host to Peer (global proposals cover the
 	// whole placement and carry only Aux).
 	KindRelocationProposed
+	// KindOperatorPlaced: tree node Node started the run on Host (Aux is the
+	// node's role: "server", "operator" or "client"). Emitted once per node
+	// when the engine starts, so an event log is a self-contained record of
+	// the run's placement history.
+	KindOperatorPlaced
+	// KindImageArrived: the client on Host received iteration Iter's final
+	// combined image of Bytes. The arrival sequence is the run's realized
+	// throughput, joined against decision records by the attribution pass.
+	KindImageArrived
+
+	// Placement-decision audit events. A placement decision is recorded as a
+	// Seq-correlated record: one decision-start, the bandwidth snapshot and
+	// critical path the optimiser saw, every candidate evaluated, each move
+	// chosen, and one decision-end.
+
+	// KindDecisionStart: policy Aux began placement decision Seq on decider
+	// host Host at dataflow iteration Iter (-1 when the decision is not tied
+	// to an iteration, e.g. the periodic global placer).
+	KindDecisionStart
+	// KindDecisionBandwidth: decision Seq's snapshot served the Host<->Peer
+	// link at Value bytes/s (Aux is "cache" for a fresh cache hit, "probe"
+	// for an on-demand probe). Emitted once per distinct link per decision.
+	KindDecisionBandwidth
+	// KindDecisionPath: decision Seq saw predicted cost Value (seconds) for
+	// the placement it started from; Name is the critical path's node ids,
+	// comma-joined (client-first for global decisions, the local
+	// producers→operator→consumer chain for local ones).
+	KindDecisionPath
+	// KindDecisionCandidate: decision Seq evaluated moving operator Node from
+	// Host to candidate host Peer, predicting cost Value (seconds); Iter is
+	// the optimiser round, Aux is "extra" for the local algorithm's random
+	// extra candidates.
+	KindDecisionCandidate
+	// KindDecisionMove: decision Seq chose to move operator Node from Host to
+	// Peer, predicting a gain of Value seconds.
+	KindDecisionMove
+	// KindDecisionEnd: decision Seq finished with predicted cost Value
+	// (seconds) after evaluating Bytes candidates.
+	KindDecisionEnd
 
 	// Fault-injection events.
 
@@ -155,6 +194,14 @@ var kindNames = [kindCount]string{
 	KindCriticalChanged:     "critical-changed",
 	KindRunAborted:          "run-aborted",
 	KindRelocationProposed:  "relocation-proposed",
+	KindOperatorPlaced:      "operator-placed",
+	KindImageArrived:        "image-arrived",
+	KindDecisionStart:       "decision-start",
+	KindDecisionBandwidth:   "decision-bandwidth",
+	KindDecisionPath:        "decision-path",
+	KindDecisionCandidate:   "decision-candidate",
+	KindDecisionMove:        "decision-move",
+	KindDecisionEnd:         "decision-end",
 	KindCrashFired:          "crash-fired",
 	KindHostRecovered:       "host-recovered",
 }
@@ -229,6 +276,9 @@ type Event struct {
 	Dur int64 `json:"d,omitempty"`
 	// Value is a kind-specific measurement (bandwidth, attempt, flag).
 	Value float64 `json:"v,omitempty"`
+	// Seq correlates the events of one multi-event record (the placement-
+	// decision audit trail groups decision-* events by Seq).
+	Seq int64 `json:"u,omitempty"`
 	// Name is a kind-specific identifier (process, mailbox, resource).
 	Name string `json:"s,omitempty"`
 	// Aux is a secondary identifier or tag.
@@ -346,6 +396,7 @@ func Hash(events []Event) uint64 {
 		w(uint64(ev.Bytes))
 		w(uint64(ev.Dur))
 		w(math.Float64bits(ev.Value))
+		w(uint64(ev.Seq))
 		h.Write([]byte(ev.Name))
 		h.Write([]byte{0})
 		h.Write([]byte(ev.Aux))

@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -38,6 +40,91 @@ func TestKindJSONRoundTrip(t *testing.T) {
 	var k Kind
 	if err := json.Unmarshal([]byte(`"bogus"`), &k); err == nil {
 		t.Error("unmarshal accepted an unknown kind")
+	}
+}
+
+// kindSamples holds one representative, fully-populated event per kind. The
+// exhaustiveness test below fails when a new Kind ships without an entry
+// here, so every kind is forced through a JSONL round trip before it can be
+// emitted anywhere — no half-wired kinds.
+var kindSamples = map[Kind]Event{
+	KindProcHold:            {Kind: KindProcHold, At: 1, Name: "op3", Dur: 500},
+	KindProcKilled:          {Kind: KindProcKilled, At: 2, Name: "server1"},
+	KindMailboxSend:         {Kind: KindMailboxSend, At: 3, Name: "h2:n5", Prio: 1},
+	KindMailboxRecv:         {Kind: KindMailboxRecv, At: 4, Name: "h2:n5", Prio: 2},
+	KindResourceWait:        {Kind: KindResourceWait, At: 5, Name: "nic2", Aux: "op3", Prio: 1},
+	KindResourceGrant:       {Kind: KindResourceGrant, At: 6, Name: "nic2", Aux: "op3"},
+	KindTransferStart:       {Kind: KindTransferStart, At: 7, Host: 1, Peer: 2, Bytes: 4096, Prio: 1},
+	KindTransferEnd:         {Kind: KindTransferEnd, At: 8, Host: 1, Peer: 2, Bytes: 4096, Dur: 100, Value: 65536},
+	KindTransferCut:         {Kind: KindTransferCut, At: 9, Host: 1, Peer: 2, Bytes: 4096, Dur: 50},
+	KindMessageDropped:      {Kind: KindMessageDropped, At: 10, Host: 1, Peer: 2, Bytes: 128, Aux: "drop"},
+	KindMessageDuplicated:   {Kind: KindMessageDuplicated, At: 11, Host: 1, Peer: 2, Bytes: 128},
+	KindProbeIssued:         {Kind: KindProbeIssued, At: 12, Host: 0, Peer: 3, Node: 4, Value: 32768},
+	KindPassiveMeasured:     {Kind: KindPassiveMeasured, At: 13, Host: 0, Peer: 3, Bytes: 65536, Value: 32768},
+	KindDemandSent:          {Kind: KindDemandSent, At: 14, Node: 5, Host: 4, Peer: 2, Iter: 7},
+	KindDataServed:          {Kind: KindDataServed, At: 15, Node: 5, Host: 2, Peer: 4, Iter: 7, Bytes: 131072},
+	KindOperatorFired:       {Kind: KindOperatorFired, At: 16, Node: 5, Host: 2, Iter: 7, Bytes: 131072, Dur: 900},
+	KindRelocationCommitted: {Kind: KindRelocationCommitted, At: 17, Node: 5, Host: 2, Peer: 3, Bytes: 1024, Aux: "barrier"},
+	KindBarrierEpoch:        {Kind: KindBarrierEpoch, At: 18, Node: 1, Iter: 12, Host: 8},
+	KindBarrierCancelled:    {Kind: KindBarrierCancelled, At: 19, Node: 1, Iter: 12},
+	KindForwarderBounce:     {Kind: KindForwarderBounce, At: 20, Node: 5, Host: 2, Peer: 3, Bytes: 131072},
+	KindRetryScheduled:      {Kind: KindRetryScheduled, At: 21, Node: 5, Iter: 7, Value: 2},
+	KindReinstantiated:      {Kind: KindReinstantiated, At: 22, Node: 5, Host: 4, Iter: 7},
+	KindCriticalChanged:     {Kind: KindCriticalChanged, At: 23, Node: 5, Host: 2, Value: 1},
+	KindRunAborted:          {Kind: KindRunAborted, At: 24},
+	KindRelocationProposed:  {Kind: KindRelocationProposed, At: 25, Node: 5, Host: 2, Peer: 3, Aux: "local"},
+	KindOperatorPlaced:      {Kind: KindOperatorPlaced, At: 0, Node: 5, Host: 2, Aux: "operator"},
+	KindImageArrived:        {Kind: KindImageArrived, At: 26, Host: 8, Iter: 7, Bytes: 262144},
+	KindDecisionStart:       {Kind: KindDecisionStart, At: 27, Host: 8, Iter: -1, Seq: 3, Aux: "global"},
+	KindDecisionBandwidth:   {Kind: KindDecisionBandwidth, At: 28, Host: 0, Peer: 3, Value: 32768, Seq: 3, Aux: "cache"},
+	KindDecisionPath:        {Kind: KindDecisionPath, At: 29, Value: 12.5, Seq: 3, Name: "15,14,12,8"},
+	KindDecisionCandidate:   {Kind: KindDecisionCandidate, At: 30, Node: 5, Host: 2, Peer: 3, Iter: 1, Value: 11.25, Seq: 3},
+	KindDecisionMove:        {Kind: KindDecisionMove, At: 31, Node: 5, Host: 2, Peer: 3, Value: 1.25, Seq: 3},
+	KindDecisionEnd:         {Kind: KindDecisionEnd, At: 32, Value: 11.25, Bytes: 42, Seq: 3},
+	KindCrashFired:          {Kind: KindCrashFired, At: 33, Host: 2, Dur: 90e9},
+	KindHostRecovered:       {Kind: KindHostRecovered, At: 34, Host: 2},
+}
+
+// TestEveryKindFullyWired is the exhaustiveness gate: each Kind (except the
+// never-emitted zero value) must carry a real kebab-case name — not the
+// "kind(N)" placeholder — and a sample event in kindSamples that survives a
+// JSONL round trip byte-for-byte. Adding a Kind without wiring both fails
+// here before it can ship half-done.
+func TestEveryKindFullyWired(t *testing.T) {
+	for k := KindNone + 1; k < kindCount; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "kind(") {
+			t.Errorf("kind %d has placeholder name %q; add it to kindNames", int(k), name)
+			continue
+		}
+		if name != strings.ToLower(name) || strings.ContainsAny(name, " _") {
+			t.Errorf("kind %v name %q is not kebab-case", int(k), name)
+		}
+		sample, ok := kindSamples[k]
+		if !ok {
+			t.Errorf("kind %v (%s) has no sample event in kindSamples; add a JSONL round-trip case", int(k), name)
+			continue
+		}
+		if sample.Kind != k {
+			t.Errorf("sample for %s carries kind %v", name, sample.Kind)
+			continue
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, []Event{sample}); err != nil {
+			t.Errorf("%s: WriteJSONL: %v", name, err)
+			continue
+		}
+		got, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Errorf("%s: ReadJSONL: %v", name, err)
+			continue
+		}
+		if len(got) != 1 || got[0] != sample {
+			t.Errorf("%s: JSONL round trip mutated the event:\n  in:  %+v\n  out: %+v", name, sample, got)
+		}
+	}
+	if len(kindSamples) != int(kindCount)-1 {
+		t.Errorf("kindSamples has %d entries for %d emittable kinds; remove stale entries", len(kindSamples), int(kindCount)-1)
 	}
 }
 
@@ -98,7 +185,7 @@ func TestModelOnlyDropsKernelKinds(t *testing.T) {
 func TestHashDistinguishesEveryField(t *testing.T) {
 	base := Event{
 		Kind: KindTransferEnd, At: 1, Host: 2, Peer: 3, Node: 4, Iter: 5,
-		Prio: 1, Bytes: 6, Dur: 7, Value: 8.5, Name: "a", Aux: "b",
+		Prio: 1, Bytes: 6, Dur: 7, Value: 8.5, Seq: 9, Name: "a", Aux: "b",
 	}
 	h0 := Hash([]Event{base})
 	if h0 != Hash([]Event{base}) {
@@ -115,6 +202,7 @@ func TestHashDistinguishesEveryField(t *testing.T) {
 		func(e *Event) { e.Bytes++ },
 		func(e *Event) { e.Dur++ },
 		func(e *Event) { e.Value++ },
+		func(e *Event) { e.Seq++ },
 		func(e *Event) { e.Name = "z" },
 		func(e *Event) { e.Aux = "z" },
 	}

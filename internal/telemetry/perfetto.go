@@ -77,6 +77,11 @@ type perfettoBuilder struct {
 	queueDepth  int64
 	criticalLen int64
 	critical    map[int32]bool
+
+	images int64
+	// decisions maps an open placement decision's Seq to its start event, so
+	// decision-start/decision-end pairs render as one span on the run track.
+	decisions map[int64]Event
 }
 
 func (b *perfettoBuilder) hostName(h int) string {
@@ -190,6 +195,39 @@ func (b *perfettoBuilder) add(ev Event) {
 			b.queueDepth--
 		}
 		b.counter(ev.At, "outstanding-demands", b.queueDepth)
+	case KindOperatorPlaced:
+		b.instant(ev, int(ev.Host), 0, fmt.Sprintf("%s n%d placed", ev.Aux, ev.Node), "p", nil)
+	case KindImageArrived:
+		b.images++
+		b.instant(ev, int(ev.Host), 0, fmt.Sprintf("image it%d", ev.Iter), "p",
+			map[string]any{"bytes": ev.Bytes})
+		b.counter(ev.At, "images-arrived", b.images)
+	case KindDecisionStart:
+		if b.decisions == nil {
+			b.decisions = make(map[int64]Event)
+		}
+		b.decisions[ev.Seq] = ev
+	case KindDecisionMove:
+		b.instant(ev, b.runPid, 1, fmt.Sprintf("plan op%d %s→%s", ev.Node, b.hostName(int(ev.Host)), b.hostName(int(ev.Peer))),
+			"p", map[string]any{"decision": ev.Seq, "gain_s": ev.Value})
+	case KindDecisionEnd:
+		start, ok := b.decisions[ev.Seq]
+		if !ok {
+			return
+		}
+		delete(b.decisions, ev.Seq)
+		b.touchHost(b.runPid)
+		b.touchThread(b.runPid, 1, "decisions")
+		b.events = append(b.events, traceEvent{
+			Name: fmt.Sprintf("decision #%d (%s)", ev.Seq, start.Aux),
+			Cat:  "placement", Ph: "X",
+			Ts: usec(start.At), Dur: usec(ev.At - start.At),
+			Pid: b.runPid, Tid: 1,
+			Args: map[string]any{
+				"alg": start.Aux, "decider": b.hostName(int(start.Host)),
+				"candidates": ev.Bytes, "predicted_cost_s": ev.Value,
+			},
+		})
 	case KindCriticalChanged:
 		if b.critical == nil {
 			b.critical = make(map[int32]bool)

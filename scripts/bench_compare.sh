@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Compare a fresh bench.sh result against the committed baseline and print a
+# per-benchmark delta table. Warn-only: regressions never fail the build —
+# benchmark noise on shared CI runners makes a hard gate counterproductive —
+# but the table in the job log gives performance a reviewable trajectory.
+#
+# Usage: scripts/bench_compare.sh <new.json> [baseline.json]
+#   Default baseline: the lexically newest committed BENCH_*.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+new="${1:?usage: bench_compare.sh <new.json> [baseline.json]}"
+base="${2:-}"
+if [ -z "$base" ]; then
+  base="$(ls BENCH_*.json 2>/dev/null | grep -v -F "$(basename "$new")" | sort | tail -n1 || true)"
+fi
+if [ -z "$base" ] || [ ! -f "$base" ]; then
+  echo "bench_compare: no committed baseline found; skipping comparison"
+  exit 0
+fi
+
+echo "comparing $new against baseline $base"
+python3 - "$base" "$new" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(b["pkg"], b["name"]): b for b in doc["benchmarks"]}
+
+base, new = load(sys.argv[1]), load(sys.argv[2])
+THRESH = 0.15  # warn when ns/op moved more than this fraction either way
+
+rows, warned = [], 0
+for key in sorted(new):
+    nb = new[key]
+    bb = base.get(key)
+    if bb is None or "ns_per_op" not in nb or "ns_per_op" not in bb:
+        rows.append((key, nb.get("ns_per_op"), None, "new"))
+        continue
+    old, cur = bb["ns_per_op"], nb["ns_per_op"]
+    delta = (cur - old) / old if old else 0.0
+    flag = ""
+    if delta > THRESH:
+        flag, warned = "SLOWER", warned + 1
+    elif delta < -THRESH:
+        flag = "faster"
+    rows.append((key, cur, delta, flag))
+
+w = max(len(f"{p}.{n}") for (p, n), *_ in rows)
+print(f"{'benchmark'.ljust(w)}  {'ns/op':>12}  {'vs base':>8}  note")
+for (pkg, name), cur, delta, flag in rows:
+    d = "    new " if delta is None else f"{delta:+7.1%}"
+    print(f"{(pkg + '.' + name).ljust(w)}  {cur:>12}  {d}  {flag}")
+
+gone = sorted(set(base) - set(new))
+for pkg, name in gone:
+    print(f"{(pkg + '.' + name).ljust(w)}  {'-':>12}  {'removed':>8}")
+
+if warned:
+    print(f"\nWARNING: {warned} benchmark(s) regressed more than {THRESH:.0%} vs {sys.argv[1]} (warn-only)")
+EOF
