@@ -1,5 +1,5 @@
 // Command simscope inspects structured event logs written by -events-out
-// (cmd/combine, cmd/experiments) and answers three questions about a run:
+// (cmd/combine, cmd/experiments) and answers four questions about a run:
 //
 //	simscope timeline run.jsonl
 //	    What happened when? Initial placement, every placement decision
@@ -14,16 +14,30 @@
 //	    configuration) are reported side by side. -v adds one audit line
 //	    per decision.
 //
+//	simscope critpath [-v] [-csv out.csv] run.jsonl
+//	    What actually gated each iteration? Walks the causal edges backward
+//	    from every image arrival and attributes the client-observed latency
+//	    to NIC queueing, transfer startup, payload time, compute and
+//	    idle-demand waits per link and host, then joins the realized paths
+//	    against the optimiser's decision records (predicted vs realized).
+//	    -v adds one attribution line per iteration; -csv exports the
+//	    per-iteration breakdown.
+//
 //	simscope diff a.jsonl b.jsonl
 //	    Are two runs the same run? Two same-seed, same-config logs must be
 //	    event-for-event identical (the determinism contract); the diff
 //	    reports zero divergence then, or pinpoints the first differing
 //	    event, the first diverging iteration and per-kind count deltas.
+//
+// Exit codes: 0 success, 1 runtime error (unreadable or malformed log),
+// 2 usage error, 3 diff divergence.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -32,36 +46,60 @@ import (
 )
 
 func main() {
-	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// usageError marks argument mistakes (wrong count, bad flag, unknown
+// subcommand) that should exit 2 with the usage text, as opposed to runtime
+// failures that exit 1.
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+// run is the testable entry point: it executes one subcommand against the
+// given writers and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
 	var err error
 	switch args[0] {
 	case "timeline":
-		err = cmdTimeline(args[1:])
+		err = cmdTimeline(args[1:], stdout)
 	case "decisions":
-		err = cmdDecisions(args[1:])
+		err = cmdDecisions(args[1:], stdout)
+	case "critpath":
+		err = cmdCritPath(args[1:], stdout)
 	case "diff":
-		err = cmdDiff(args[1:])
+		identical, derr := cmdDiff(args[1:], stdout)
+		if derr == nil && !identical {
+			return 3 // scriptable: diff exits non-zero on divergence
+		}
+		err = derr
 	default:
-		fmt.Fprintf(os.Stderr, "simscope: unknown command %q\n\n", args[0])
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "simscope: unknown command %q\n\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	var uerr usageError
+	if errors.As(err, &uerr) {
+		fmt.Fprintf(stderr, "simscope: %v\n\n", err)
+		usage(stderr)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simscope: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "simscope: %v\n", err)
+		return 1
 	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage:
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `usage:
   simscope timeline <run.jsonl>
   simscope decisions [-v] <run.jsonl> [more.jsonl ...]
+  simscope critpath [-v] [-csv out.csv] <run.jsonl>
   simscope diff <a.jsonl> <b.jsonl>
 `)
 }
@@ -79,27 +117,28 @@ func load(path string) ([]telemetry.Event, error) {
 	return events, nil
 }
 
-func cmdTimeline(args []string) error {
+func cmdTimeline(args []string, stdout io.Writer) error {
 	if len(args) != 1 {
-		return fmt.Errorf("timeline wants exactly one log, got %d", len(args))
+		return usageError(fmt.Sprintf("timeline wants exactly one log, got %d", len(args)))
 	}
 	events, err := load(args[0])
 	if err != nil {
 		return err
 	}
-	fmt.Printf("== %s ==\n", filepath.Base(args[0]))
-	fmt.Print(analysis.FormatTimeline(events))
+	fmt.Fprintf(stdout, "== %s ==\n", filepath.Base(args[0]))
+	fmt.Fprint(stdout, analysis.FormatTimeline(events))
 	return nil
 }
 
-func cmdDecisions(args []string) error {
+func cmdDecisions(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("decisions", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
 	verbose := fs.Bool("v", false, "print one audit line per decision")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError(err.Error())
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("decisions wants at least one log")
+		return usageError("decisions wants at least one log")
 	}
 	for _, path := range fs.Args() {
 		events, err := load(path)
@@ -107,35 +146,77 @@ func cmdDecisions(args []string) error {
 			return err
 		}
 		outcomes := analysis.Attribute(analysis.ExtractDecisions(events), events)
-		fmt.Printf("== %s ==\n", filepath.Base(path))
+		fmt.Fprintf(stdout, "== %s ==\n", filepath.Base(path))
 		if len(outcomes) == 0 {
-			fmt.Println("no placement-decision records in log")
+			fmt.Fprintln(stdout, "no placement-decision records in log")
 			continue
 		}
-		fmt.Print(analysis.FormatDecisionReports(analysis.BuildReports(outcomes)))
+		fmt.Fprint(stdout, analysis.FormatDecisionReports(analysis.BuildReports(outcomes)))
 		if *verbose {
-			fmt.Print(analysis.FormatDecisionTable(outcomes))
+			fmt.Fprint(stdout, analysis.FormatDecisionTable(outcomes))
 		}
 	}
 	return nil
 }
 
-func cmdDiff(args []string) error {
+func cmdCritPath(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("critpath", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	verbose := fs.Bool("v", false, "print one attribution line per iteration")
+	csvPath := fs.String("csv", "", "write the per-iteration attribution CSV to this path")
+	if err := fs.Parse(args); err != nil {
+		return usageError(err.Error())
+	}
+	if fs.NArg() != 1 {
+		return usageError(fmt.Sprintf("critpath wants exactly one log, got %d", fs.NArg()))
+	}
+	events, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	paths := analysis.ExtractCritPaths(events)
+	fmt.Fprintf(stdout, "== %s ==\n", filepath.Base(fs.Arg(0)))
+	if len(paths) == 0 {
+		fmt.Fprintln(stdout, "no image-arrived events in log")
+		return nil
+	}
+	fmt.Fprint(stdout, analysis.FormatCritPathSummary(paths))
+	if *verbose {
+		fmt.Fprint(stdout, analysis.FormatCritPathTable(paths))
+	}
+	outcomes := analysis.Attribute(analysis.ExtractDecisions(events), events)
+	if len(outcomes) > 0 {
+		fmt.Fprint(stdout, analysis.FormatPathComparisons(analysis.ComparePredictions(outcomes, paths, events)))
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := analysis.WriteCritPathCSV(f, paths); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdDiff(args []string, stdout io.Writer) (bool, error) {
 	if len(args) != 2 {
-		return fmt.Errorf("diff wants exactly two logs, got %d", len(args))
+		return false, usageError(fmt.Sprintf("diff wants exactly two logs, got %d", len(args)))
 	}
 	a, err := load(args[0])
 	if err != nil {
-		return err
+		return false, err
 	}
 	b, err := load(args[1])
 	if err != nil {
-		return err
+		return false, err
 	}
 	res := analysis.DiffLogs(a, b)
-	fmt.Print(res.String())
-	if !res.Identical {
-		os.Exit(3) // scriptable: diff exits non-zero on divergence
-	}
-	return nil
+	fmt.Fprint(stdout, res.String())
+	return res.Identical, nil
 }

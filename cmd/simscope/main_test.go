@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wadc/internal/telemetry"
+)
+
+// writeLog writes a minimal JSONL event log and returns its path.
+func writeLog(t *testing.T, name string, events []telemetry.Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestNoArgsIsUsageError(t *testing.T) {
+	code, _, stderr := runCLI()
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Errorf("stderr lacks usage text:\n%s", stderr)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	code, _, stderr := runCLI("frobnicate")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown command "frobnicate"`) || !strings.Contains(stderr, "usage:") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestMissingLogPathIsUsageError(t *testing.T) {
+	for _, args := range [][]string{
+		{"timeline"},
+		{"decisions"},
+		{"critpath"},
+		{"diff", "only-one.jsonl"},
+	} {
+		code, _, stderr := runCLI(args...)
+		if code != 2 {
+			t.Errorf("%v: exit = %d, want 2", args, code)
+		}
+		if !strings.Contains(stderr, "usage:") {
+			t.Errorf("%v: stderr lacks usage text:\n%s", args, stderr)
+		}
+	}
+}
+
+func TestUnreadableLogIsRuntimeError(t *testing.T) {
+	code, _, stderr := runCLI("timeline", filepath.Join(t.TempDir(), "nope.jsonl"))
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "simscope:") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	code, _, stderr := runCLI("critpath", "-nonsense", "run.jsonl")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Errorf("stderr lacks usage text:\n%s", stderr)
+	}
+}
+
+func TestDiffExitCodes(t *testing.T) {
+	a := writeLog(t, "a.jsonl", []telemetry.Event{
+		{Kind: telemetry.KindImageArrived, At: 10, Iter: 0},
+		{Kind: telemetry.KindImageArrived, At: 20, Iter: 1},
+	})
+	b := writeLog(t, "b.jsonl", []telemetry.Event{
+		{Kind: telemetry.KindImageArrived, At: 10, Iter: 0},
+		{Kind: telemetry.KindImageArrived, At: 25, Iter: 1},
+	})
+	if code, _, _ := runCLI("diff", a, a); code != 0 {
+		t.Errorf("identical diff exit = %d, want 0", code)
+	}
+	code, stdout, _ := runCLI("diff", a, b)
+	if code != 3 {
+		t.Errorf("diverging diff exit = %d, want 3", code)
+	}
+	if !strings.Contains(stdout, "diverge") {
+		t.Errorf("diff output does not mention divergence:\n%s", stdout)
+	}
+}
+
+// critpathLog is a two-hop causal chain (server read → transfer → compose →
+// transfer → arrival) sufficient for an end-to-end critpath run.
+func critpathLog(t *testing.T) string {
+	return writeLog(t, "run.jsonl", []telemetry.Event{
+		{Kind: telemetry.KindOperatorPlaced, At: 0, Node: 0, Host: 0, Aux: "server"},
+		{Kind: telemetry.KindOperatorPlaced, At: 0, Node: 2, Host: 1, Aux: "operator"},
+		{Kind: telemetry.KindOperatorPlaced, At: 0, Node: 3, Host: 2, Aux: "client"},
+		{Kind: telemetry.KindDemandSent, At: 0, Node: 2, Host: 2, Peer: 1},
+		{Kind: telemetry.KindSourceRead, At: 100, Node: 0, Host: 0, Bytes: 100, Dur: 50},
+		{Kind: telemetry.KindDataServed, At: 120, Node: 0, Host: 0, Peer: 1, Bytes: 100, Wait: 20},
+		{Kind: telemetry.KindTransferEnd, At: 220, Host: 0, Peer: 1, Bytes: 100, Dur: 90, Wait: 10, Startup: 30},
+		{Kind: telemetry.KindComposeGated, At: 220, Node: 2, Host: 1, Peer: 0, Bytes: 100, Dur: 220},
+		{Kind: telemetry.KindOperatorFired, At: 265, Node: 2, Host: 1, Dur: 40, Wait: 5},
+		{Kind: telemetry.KindDataServed, At: 280, Node: 2, Host: 1, Peer: 2, Bytes: 100, Wait: 15},
+		{Kind: telemetry.KindTransferEnd, At: 400, Host: 1, Peer: 2, Bytes: 100, Dur: 100, Wait: 20, Startup: 30},
+		{Kind: telemetry.KindImageArrived, At: 400, Host: 2, Bytes: 100},
+	})
+}
+
+func TestCritPathSubcommand(t *testing.T) {
+	log := critpathLog(t)
+	code, stdout, stderr := runCLI("critpath", "-v", log)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	for _, want := range []string{
+		"realized critical-path attribution (1 iterations",
+		"top contributors:",
+		"bottleneck",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output lacks %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestCritPathCSVExport(t *testing.T) {
+	log := critpathLog(t)
+	csv := filepath.Join(t.TempDir(), "attr.csv")
+	if code, _, stderr := runCLI("critpath", "-csv", csv, log); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv has %d lines, want 2:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "iter,arrival_s,latency_s,") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+}
+
+func TestCritPathEmptyLog(t *testing.T) {
+	log := writeLog(t, "empty.jsonl", []telemetry.Event{
+		{Kind: telemetry.KindDemandSent, At: 0, Node: 2},
+	})
+	code, stdout, _ := runCLI("critpath", log)
+	if code != 0 {
+		t.Errorf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "no image-arrived events") {
+		t.Errorf("output = %q", stdout)
+	}
+}

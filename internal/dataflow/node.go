@@ -12,10 +12,14 @@ import (
 
 // heldData is a node's buffered output: "Each node in the tree holds its
 // output (original data for the servers, processed data for combination
-// operators) until its consumer requests it."
+// operators) until its consumer requests it." readyAt is when the output
+// became ready (compose end / disk-read end), so a serve can report how long
+// the output sat waiting for demand — the idle-demand phase of the causal
+// lineage. It survives re-serves and relocations with the buffer.
 type heldData struct {
-	iter  int
-	bytes int64
+	iter    int
+	bytes   int64
+	readyAt sim.Time
 }
 
 // node is the runtime state of one tree vertex (server, operator or client).
@@ -289,6 +293,7 @@ func (n *node) sendData(p *sim.Proc, demand *envelope) {
 			Kind: telemetry.KindDataServed,
 			Node: int32(n.id), Host: int32(n.host), Peer: int32(demand.fromAddr.host),
 			Iter: int32(n.held.iter), Bytes: n.held.bytes,
+			Wait: int64(n.e.k.Now() - n.held.readyAt),
 		})
 	}
 	env := &envelope{kind: kindData, iter: n.held.iter, bytes: n.held.bytes}
@@ -306,6 +311,7 @@ func (n *node) produce(p *sim.Proc, it int) {
 	children := n.e.cfg.Tree.Node(n.id).Children
 	prop := n.pendProp
 	n.pendProp = nil
+	fetchStart := n.e.k.Now()
 	for _, c := range children {
 		env := &envelope{
 			kind: kindDemand, iter: it,
@@ -325,6 +331,7 @@ func (n *node) produce(p *sim.Proc, it int) {
 	}
 	var sizes []int64
 	var lastFrom plan.NodeID
+	var lastBytes int64
 	for len(sizes) < len(children) {
 		env := n.recvNew(p)
 		switch env.kind {
@@ -334,6 +341,7 @@ func (n *node) produce(p *sim.Proc, it int) {
 			}
 			sizes = append(sizes, env.bytes)
 			lastFrom = env.from
+			lastBytes = env.bytes
 		case kindDemand:
 			// The consumer's next demand arrived while we prefetch: buffer.
 			n.pendingMsgs = append(n.pendingMsgs, env)
@@ -343,14 +351,49 @@ func (n *node) produce(p *sim.Proc, it int) {
 		}
 	}
 	n.lateMark[lastFrom] = true
+	// The last-arriving input is the gating input: its arrival is the causal
+	// edge that released this compose. The fetch span (first demand dispatch
+	// to gating arrival) and the CPU-queue wait below complete the lineage
+	// from the child's serve to this operator's fire.
+	gateAt := n.e.k.Now()
+	if n.e.tel != nil {
+		n.e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindComposeGated,
+			Node: int32(n.id), Host: int32(n.host), Peer: int32(lastFrom),
+			Iter: int32(it), Bytes: lastBytes, Dur: int64(gateAt - fetchStart),
+		})
+	}
 	dur := workload.ComposeDuration(sizes[0], sizes[1], n.e.cfg.ComposePerPixel)
 	n.e.cfg.Net.Host(n.host).Compute(p, dur)
-	n.held = &heldData{iter: it, bytes: workload.ComposeBytes(sizes[0], sizes[1])}
+	now := n.e.k.Now()
+	n.held = &heldData{iter: it, bytes: workload.ComposeBytes(sizes[0], sizes[1]), readyAt: now}
 	if n.e.tel != nil {
 		n.e.k.Emit(telemetry.Event{
 			Kind: telemetry.KindOperatorFired,
 			Node: int32(n.id), Host: int32(n.host),
 			Iter: int32(it), Bytes: n.held.bytes, Dur: int64(dur),
+			Wait: int64(now-gateAt) - int64(dur),
+		})
+	}
+}
+
+// readImage reads iteration it's partition image off the local disk into the
+// node's held buffer, recording the source-read causal edge (the leaf end of
+// every realized critical path). Dur is the elapsed read time, disk-queue
+// wait included.
+//
+//lint:hotpath
+func (n *node) readImage(p *sim.Proc, it int, bytes int64) {
+	e := n.e
+	start := e.k.Now()
+	e.cfg.Net.Host(n.host).ReadDisk(p, bytes)
+	now := e.k.Now()
+	n.held = &heldData{iter: it, bytes: bytes, readyAt: now}
+	if e.tel != nil {
+		e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindSourceRead,
+			Node: int32(n.id), Host: int32(n.host),
+			Iter: int32(it), Bytes: bytes, Dur: int64(now - start),
 		})
 	}
 }
@@ -409,13 +452,11 @@ func (n *node) serverLoop(p *sim.Proc) {
 		}
 		n.applySwitchIfDue(p, it)
 		if n.held == nil || n.held.iter != it {
-			e.cfg.Net.Host(n.host).ReadDisk(p, images[it].Bytes)
-			n.held = &heldData{iter: it, bytes: images[it].Bytes}
+			n.readImage(p, it, images[it].Bytes)
 		}
 		n.sendData(p, demand)
 		if it+1 < e.cfg.Iterations {
-			e.cfg.Net.Host(n.host).ReadDisk(p, images[it+1].Bytes)
-			n.held = &heldData{iter: it + 1, bytes: images[it+1].Bytes}
+			n.readImage(p, it+1, images[it+1].Bytes)
 		}
 	}
 }

@@ -378,6 +378,7 @@ func (n *node) resilientProduce(p *sim.Proc, it int) {
 	e := n.e
 	prop := n.pendProp
 	n.pendProp = nil
+	fetchStart := e.k.Now()
 	f := &fetchState{iter: it, prop: prop, targets: e.cfg.Tree.Node(n.id).Children}
 	n.runFetch(p, f, func(c plan.NodeID) bool {
 		m := n.lateMark[c]
@@ -385,18 +386,30 @@ func (n *node) resilientProduce(p *sim.Proc, it int) {
 		return m
 	})
 	n.lateMark[f.lastFrom] = true
+	// Same gating/CPU-wait lineage as the strict produce: the last-arriving
+	// input released the compose, whatever retries it took to get there.
+	gateAt := e.k.Now()
+	if e.tel != nil {
+		e.k.Emit(telemetry.Event{
+			Kind: telemetry.KindComposeGated,
+			Node: int32(n.id), Host: int32(n.host), Peer: int32(f.lastFrom),
+			Iter: int32(it), Bytes: f.got[f.lastFrom], Dur: int64(gateAt - fetchStart),
+		})
+	}
 	sizes := make([]int64, 0, len(f.targets))
 	for _, c := range f.targets {
 		sizes = append(sizes, f.got[c])
 	}
 	dur := workload.ComposeDuration(sizes[0], sizes[1], e.cfg.ComposePerPixel)
 	e.cfg.Net.Host(n.host).Compute(p, dur)
-	n.held = &heldData{iter: it, bytes: workload.ComposeBytes(sizes[0], sizes[1])}
+	now := e.k.Now()
+	n.held = &heldData{iter: it, bytes: workload.ComposeBytes(sizes[0], sizes[1]), readyAt: now}
 	if e.tel != nil {
 		e.k.Emit(telemetry.Event{
 			Kind: telemetry.KindOperatorFired,
 			Node: int32(n.id), Host: int32(n.host),
 			Iter: int32(it), Bytes: n.held.bytes, Dur: int64(dur),
+			Wait: int64(now-gateAt) - int64(dur),
 		})
 	}
 }
@@ -491,13 +504,11 @@ func (n *node) resilientServerLoop(p *sim.Proc) {
 		}
 		n.applySwitchIfDue(p, it)
 		if n.held == nil || n.held.iter != it {
-			e.cfg.Net.Host(n.host).ReadDisk(p, images[it].Bytes)
-			n.held = &heldData{iter: it, bytes: images[it].Bytes}
+			n.readImage(p, it, images[it].Bytes)
 		}
 		n.sendData(p, env)
 		if it+1 < e.cfg.Iterations && (n.held == nil || n.held.iter != it+1) {
-			e.cfg.Net.Host(n.host).ReadDisk(p, images[it+1].Bytes)
-			n.held = &heldData{iter: it + 1, bytes: images[it+1].Bytes}
+			n.readImage(p, it+1, images[it+1].Bytes)
 		}
 	}
 }

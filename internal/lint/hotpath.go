@@ -29,6 +29,7 @@ var HotPathRequired = map[string][]string{
 	"wadc/internal/dataflow": {
 		"(*node).send",
 		"(*node).sendData",
+		"(*node).readImage",
 	},
 }
 

@@ -156,7 +156,7 @@ type Network struct {
 	transfers      int64
 	bytesMoved     int64
 	controlSends   int64
-	barrierOvertax int64 // barrier messages that found a non-empty NIC queue
+	barrierOvertax int64 // barrier messages that actually waited for a NIC
 
 	// Fault accounting (all zero when no FaultHook is installed).
 	dropped    int64 // messages lost to a drop fate or a down destination
@@ -312,9 +312,6 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 	if first.id > second.id {
 		first, second = second, first
 	}
-	if msg.Prio >= sim.PriorityBarrier && (src.nic.InUse() > 0 || dst.nic.InUse() > 0) {
-		n.barrierOvertax++
-	}
 	// The sender process can be killed (host crash) while queueing or
 	// mid-transfer; the deferred cleanup frees whatever it still holds so the
 	// peer's NIC is not wedged forever. On the normal path both flags are
@@ -334,17 +331,28 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 	second.nic.Acquire(p, prio)
 	heldSecond = true
 
+	// Both NICs are held: everything since SentAt was NIC queue wait, a
+	// phase distinct from the per-message startup below (the old accounting
+	// folded both into one opaque duration). barrierOvertax now counts
+	// barrier messages that measurably waited instead of pattern-matching on
+	// NIC occupancy at entry.
+	queueWait := int64(n.k.Now() - msg.SentAt)
+	if msg.Prio >= sim.PriorityBarrier && queueWait > 0 {
+		n.barrierOvertax++
+	}
 	if tel := n.k.Telemetry(); tel != nil {
 		n.k.Emit(telemetry.Event{
 			Kind: telemetry.KindTransferStart,
 			Host: int32(msg.Src), Peer: int32(msg.Dst),
 			Bytes: msg.Size, Prio: int8(msg.Prio), Name: msg.Port,
+			Wait: queueWait,
 		})
 	}
 	for _, o := range n.observers {
 		o.BeforeSend(msg)
 	}
-	dur := n.startup + tr.TransferDuration(n.k.Now().Add(n.startup), msg.Size)
+	wireStart := n.k.Now()
+	dur := n.startup + tr.TransferDuration(wireStart.Add(n.startup), msg.Size)
 	if n.faults != nil {
 		if at, ok := n.faults.CutDuring(msg.Src, msg.Dst, n.k.Now(), n.k.Now().Add(dur)); ok {
 			// The link goes dark before the transfer completes: the endpoints
@@ -365,6 +373,8 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 					Kind: telemetry.KindTransferCut,
 					Host: int32(msg.Src), Peer: int32(msg.Dst),
 					Bytes: msg.Size, Prio: int8(msg.Prio), Name: msg.Port,
+					Dur:  int64(failAt - wireStart),
+					Wait: queueWait, Startup: int64(n.startup),
 				})
 			}
 			return
@@ -388,7 +398,8 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 			Kind: telemetry.KindTransferEnd,
 			Host: int32(msg.Src), Peer: int32(msg.Dst),
 			Bytes: msg.Size, Prio: int8(msg.Prio), Name: msg.Port,
-			Dur:   int64(dur),
+			Dur:  int64(dur), // legacy total: startup + payload
+			Wait: queueWait, Startup: int64(n.startup),
 			Value: float64(n.MeasuredBandwidth(msg.Size, dur)),
 		})
 	}

@@ -51,13 +51,20 @@ const (
 	// Network events.
 
 	// KindTransferStart: a remote transfer of Bytes begins occupying the
-	// Host<->Peer link (both NICs acquired) at priority Prio.
+	// Host<->Peer link (both NICs acquired) at priority Prio. Wait is the
+	// time the message queued for the two endpoint NICs before the link
+	// was acquired.
 	KindTransferStart
-	// KindTransferEnd: the transfer completed after Dur (startup included);
-	// Value is the achieved application-level bandwidth in bytes/s.
+	// KindTransferEnd: the transfer completed after Dur on the link (the
+	// legacy total: startup + payload, excluding NIC queueing); Value is the
+	// achieved application-level bandwidth in bytes/s. The phase breakdown
+	// is Wait (NIC queue wait before the link was acquired), Startup (the
+	// fixed per-message start-up cost) and Dur-Startup (payload time at the
+	// trace-integrated bandwidth).
 	KindTransferEnd
 	// KindTransferCut: a mid-transfer link blackout aborted the Host->Peer
-	// transfer of Bytes after Dur on the wire.
+	// transfer of Bytes after Dur on the wire (Wait is the NIC queue wait
+	// before the link was acquired, Startup the per-message start-up cost).
 	KindTransferCut
 	// KindMessageDropped: the message was lost after the transfer (Aux is
 	// "drop" for a fate draw, "host-down" for a crashed destination).
@@ -80,11 +87,27 @@ const (
 	// Node (living on Peer) from a consumer on Host.
 	KindDemandSent
 	// KindDataServed: node Node on Host served its Iter output of Bytes to
-	// its consumer on Peer.
+	// its consumer on Peer. Wait is how long the output sat buffered between
+	// becoming ready and this demand releasing it (idle-demand time; it
+	// covers the consumer's demand journey too).
 	KindDataServed
+	// KindSourceRead: server node Node on Host finished reading its Iter
+	// partition image of Bytes from disk; Dur is the elapsed read time
+	// (disk-queue wait included). With compose-gated events these are the
+	// causal edges the critical-path pass walks.
+	KindSourceRead
 	// KindOperatorFired: operator Node on Host composed its Iter output
-	// (Bytes) after Dur of CPU time.
+	// (Bytes) after Dur of CPU time. Wait is the CPU-queue wait between the
+	// gating input's arrival and the compose starting (co-located operators
+	// contend for the single CPU).
 	KindOperatorFired
+	// KindComposeGated: operator Node on Host collected the last of its Iter
+	// inputs. Peer is the *gating producer's node id* (the child whose
+	// arrival released the compose — the realized critical child), Bytes its
+	// payload, Dur the full fetch span since the first demand was
+	// dispatched. Together with transfer phases this forms the causal edge
+	// from the gating child's serve to this operator's fire.
+	KindComposeGated
 	// KindRelocationCommitted: operator Node physically moved Host -> Peer
 	// (Aux is "barrier" for a coordinated change-over, "policy" otherwise;
 	// Bytes is held output that travelled with the move).
@@ -184,7 +207,9 @@ var kindNames = [kindCount]string{
 	KindPassiveMeasured:     "passive-measured",
 	KindDemandSent:          "demand-sent",
 	KindDataServed:          "data-served",
+	KindSourceRead:          "source-read",
 	KindOperatorFired:       "operator-fired",
+	KindComposeGated:        "compose-gated",
 	KindRelocationCommitted: "relocation-committed",
 	KindBarrierEpoch:        "barrier-epoch",
 	KindBarrierCancelled:    "barrier-cancelled",
@@ -274,6 +299,14 @@ type Event struct {
 	Bytes int64 `json:"b,omitempty"`
 	// Dur is a duration in nanoseconds.
 	Dur int64 `json:"d,omitempty"`
+	// Wait is a kind-specific wait phase in nanoseconds: NIC queue wait for
+	// transfers, CPU-queue wait for operator fires, idle-demand time for
+	// data serves.
+	Wait int64 `json:"w,omitempty"`
+	// Startup is the fixed per-message start-up portion of a transfer's Dur,
+	// in nanoseconds (the paper's 50 ms), so every transfer event carries
+	// its full phase breakdown: Wait | Startup | Dur-Startup.
+	Startup int64 `json:"y,omitempty"`
 	// Value is a kind-specific measurement (bandwidth, attempt, flag).
 	Value float64 `json:"v,omitempty"`
 	// Seq correlates the events of one multi-event record (the placement-
@@ -395,6 +428,8 @@ func Hash(events []Event) uint64 {
 		w(uint64(int64(ev.Prio)))
 		w(uint64(ev.Bytes))
 		w(uint64(ev.Dur))
+		w(uint64(ev.Wait))
+		w(uint64(ev.Startup))
 		w(math.Float64bits(ev.Value))
 		w(uint64(ev.Seq))
 		h.Write([]byte(ev.Name))

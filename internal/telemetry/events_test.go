@@ -54,16 +54,18 @@ var kindSamples = map[Kind]Event{
 	KindMailboxRecv:         {Kind: KindMailboxRecv, At: 4, Name: "h2:n5", Prio: 2},
 	KindResourceWait:        {Kind: KindResourceWait, At: 5, Name: "nic2", Aux: "op3", Prio: 1},
 	KindResourceGrant:       {Kind: KindResourceGrant, At: 6, Name: "nic2", Aux: "op3"},
-	KindTransferStart:       {Kind: KindTransferStart, At: 7, Host: 1, Peer: 2, Bytes: 4096, Prio: 1},
-	KindTransferEnd:         {Kind: KindTransferEnd, At: 8, Host: 1, Peer: 2, Bytes: 4096, Dur: 100, Value: 65536},
-	KindTransferCut:         {Kind: KindTransferCut, At: 9, Host: 1, Peer: 2, Bytes: 4096, Dur: 50},
+	KindTransferStart:       {Kind: KindTransferStart, At: 7, Host: 1, Peer: 2, Bytes: 4096, Prio: 1, Wait: 12},
+	KindTransferEnd:         {Kind: KindTransferEnd, At: 8, Host: 1, Peer: 2, Bytes: 4096, Dur: 100, Wait: 12, Startup: 50, Value: 65536},
+	KindTransferCut:         {Kind: KindTransferCut, At: 9, Host: 1, Peer: 2, Bytes: 4096, Dur: 50, Wait: 12, Startup: 50},
 	KindMessageDropped:      {Kind: KindMessageDropped, At: 10, Host: 1, Peer: 2, Bytes: 128, Aux: "drop"},
 	KindMessageDuplicated:   {Kind: KindMessageDuplicated, At: 11, Host: 1, Peer: 2, Bytes: 128},
 	KindProbeIssued:         {Kind: KindProbeIssued, At: 12, Host: 0, Peer: 3, Node: 4, Value: 32768},
 	KindPassiveMeasured:     {Kind: KindPassiveMeasured, At: 13, Host: 0, Peer: 3, Bytes: 65536, Value: 32768},
 	KindDemandSent:          {Kind: KindDemandSent, At: 14, Node: 5, Host: 4, Peer: 2, Iter: 7},
-	KindDataServed:          {Kind: KindDataServed, At: 15, Node: 5, Host: 2, Peer: 4, Iter: 7, Bytes: 131072},
-	KindOperatorFired:       {Kind: KindOperatorFired, At: 16, Node: 5, Host: 2, Iter: 7, Bytes: 131072, Dur: 900},
+	KindDataServed:          {Kind: KindDataServed, At: 15, Node: 5, Host: 2, Peer: 4, Iter: 7, Bytes: 131072, Wait: 250},
+	KindSourceRead:          {Kind: KindSourceRead, At: 15, Node: 1, Host: 3, Iter: 7, Bytes: 131072, Dur: 42666},
+	KindOperatorFired:       {Kind: KindOperatorFired, At: 16, Node: 5, Host: 2, Iter: 7, Bytes: 131072, Dur: 900, Wait: 30},
+	KindComposeGated:        {Kind: KindComposeGated, At: 16, Node: 5, Host: 2, Peer: 1, Iter: 7, Bytes: 65536, Dur: 1200},
 	KindRelocationCommitted: {Kind: KindRelocationCommitted, At: 17, Node: 5, Host: 2, Peer: 3, Bytes: 1024, Aux: "barrier"},
 	KindBarrierEpoch:        {Kind: KindBarrierEpoch, At: 18, Node: 1, Iter: 12, Host: 8},
 	KindBarrierCancelled:    {Kind: KindBarrierCancelled, At: 19, Node: 1, Iter: 12},
@@ -185,7 +187,8 @@ func TestModelOnlyDropsKernelKinds(t *testing.T) {
 func TestHashDistinguishesEveryField(t *testing.T) {
 	base := Event{
 		Kind: KindTransferEnd, At: 1, Host: 2, Peer: 3, Node: 4, Iter: 5,
-		Prio: 1, Bytes: 6, Dur: 7, Value: 8.5, Seq: 9, Name: "a", Aux: "b",
+		Prio: 1, Bytes: 6, Dur: 7, Wait: 10, Startup: 11, Value: 8.5, Seq: 9,
+		Name: "a", Aux: "b",
 	}
 	h0 := Hash([]Event{base})
 	if h0 != Hash([]Event{base}) {
@@ -201,6 +204,8 @@ func TestHashDistinguishesEveryField(t *testing.T) {
 		func(e *Event) { e.Prio++ },
 		func(e *Event) { e.Bytes++ },
 		func(e *Event) { e.Dur++ },
+		func(e *Event) { e.Wait++ },
+		func(e *Event) { e.Startup++ },
 		func(e *Event) { e.Value++ },
 		func(e *Event) { e.Seq++ },
 		func(e *Event) { e.Name = "z" },

@@ -23,6 +23,8 @@ type traceEvent struct {
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
+	ID    int64          `json:"id,omitempty"` // flow-event id
+	BP    string         `json:"bp,omitempty"` // flow binding point ("e")
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -51,6 +53,8 @@ func WritePerfetto(w io.Writer, events []Event, hostNames []string) error {
 		hostNames:  hostNames,
 		hostSeen:   make(map[int]bool),
 		threadSeen: make(map[[2]int]bool),
+		flowTo:     make(map[int32]int64),
+		lastXfer:   make(map[int32]Event),
 	}
 	// The run-global track sits after every real host so host tracks sort
 	// first in the UI.
@@ -82,6 +86,16 @@ type perfettoBuilder struct {
 	// decisions maps an open placement decision's Seq to its start event, so
 	// decision-start/decision-end pairs render as one span on the run track.
 	decisions map[int64]Event
+
+	// Causal lineage flows: flowTo tracks the id of the flow whose data most
+	// recently landed on (or was produced at) each host; lastXfer remembers
+	// the last data transfer delivered to a host, so an image-arrived event
+	// can terminate its flow inside that slice. A hop that lands on a host
+	// overwrites the previous flow — exactly the gating semantics: the last
+	// input to arrive is the one that releases the compose.
+	flowNext int64
+	flowTo   map[int32]int64
+	lastXfer map[int32]Event
 }
 
 func (b *perfettoBuilder) hostName(h int) string {
@@ -128,6 +142,20 @@ func (b *perfettoBuilder) instant(ev Event, pid, tid int, name, scope string, ar
 	})
 }
 
+// flowPoint emits one classic flow event ("s" start, "t" step, "f" end)
+// bound to the slice enclosing ts on (pid, tid). All points of a flow share
+// an id and name; together they draw the lineage arrows transfer → compose
+// → transfer → arrival in the Perfetto UI.
+func (b *perfettoBuilder) flowPoint(ph string, id int64, ts float64, pid, tid int) {
+	ev := traceEvent{
+		Name: "lineage", Cat: "flow", Ph: ph, Ts: ts, Pid: pid, Tid: tid, ID: id,
+	}
+	if ph == "f" {
+		ev.BP = "e" // bind to the enclosing slice, not the next one
+	}
+	b.events = append(b.events, ev)
+}
+
 func (b *perfettoBuilder) counter(at int64, name string, value int64) {
 	b.touchHost(b.runPid)
 	b.events = append(b.events, traceEvent{
@@ -148,8 +176,23 @@ func (b *perfettoBuilder) add(ev Event) {
 			Cat:  "net", Ph: "X",
 			Ts: usec(ev.At - ev.Dur), Dur: usec(ev.Dur),
 			Pid: src, Tid: 1 + dst,
-			Args: map[string]any{"bytes": ev.Bytes, "prio": int(ev.Prio), "bw_bps": ev.Value},
+			Args: map[string]any{
+				"bytes": ev.Bytes, "prio": int(ev.Prio), "bw_bps": ev.Value,
+				"queue_ms": float64(ev.Wait) / 1e6, "startup_ms": float64(ev.Startup) / 1e6,
+			},
 		})
+		if ev.Prio == 0 { // a data hop carries lineage
+			mid := usec(ev.At - ev.Dur/2)
+			if id, ok := b.flowTo[ev.Host]; ok {
+				b.flowPoint("t", id, mid, src, 1+dst)
+				b.flowTo[ev.Peer] = id
+			} else {
+				b.flowNext++
+				b.flowPoint("s", b.flowNext, mid, src, 1+dst)
+				b.flowTo[ev.Peer] = b.flowNext
+			}
+			b.lastXfer[ev.Peer] = ev
+		}
 	case KindTransferCut:
 		b.instant(ev, int(ev.Host), 1+int(ev.Peer), fmt.Sprintf("cut to %s", b.hostName(int(ev.Peer))), "p",
 			map[string]any{"bytes": ev.Bytes})
@@ -163,8 +206,39 @@ func (b *perfettoBuilder) add(ev Event) {
 			Cat:  "dataflow", Ph: "X",
 			Ts: usec(ev.At - ev.Dur), Dur: usec(ev.Dur),
 			Pid: pid, Tid: tid,
+			Args: map[string]any{"bytes": ev.Bytes, "iter": ev.Iter, "cpu_queue_ms": float64(ev.Wait) / 1e6},
+		})
+		if id, ok := b.flowTo[ev.Host]; ok {
+			// The gating input's flow steps through the compose; the output
+			// keeps the lineage until the next dispatch picks it up.
+			b.flowPoint("t", id, usec(ev.At-ev.Dur/2), pid, tid)
+		}
+	case KindComposeGated:
+		pid := int(ev.Host)
+		tid := opRowBase + int(ev.Node)
+		b.touchHost(pid)
+		b.touchThread(pid, tid, fmt.Sprintf("op%d", ev.Node))
+		b.events = append(b.events, traceEvent{
+			Name: fmt.Sprintf("gated by n%d", ev.Peer), Cat: ev.Kind.String(), Ph: "i",
+			Ts: usec(ev.At), Pid: pid, Tid: tid, Scope: "t",
+			Args: map[string]any{"child": ev.Peer, "bytes": ev.Bytes, "fetch_ms": float64(ev.Dur) / 1e6},
+		})
+	case KindSourceRead:
+		pid := int(ev.Host)
+		tid := opRowBase + int(ev.Node)
+		b.touchHost(pid)
+		b.touchThread(pid, tid, fmt.Sprintf("src%d", ev.Node))
+		b.events = append(b.events, traceEvent{
+			Name: fmt.Sprintf("read it%d", ev.Iter),
+			Cat:  "dataflow", Ph: "X",
+			Ts: usec(ev.At - ev.Dur), Dur: usec(ev.Dur),
+			Pid: pid, Tid: tid,
 			Args: map[string]any{"bytes": ev.Bytes, "iter": ev.Iter},
 		})
+		// Every lineage flow begins at a source read.
+		b.flowNext++
+		b.flowPoint("s", b.flowNext, usec(ev.At-ev.Dur/2), pid, tid)
+		b.flowTo[ev.Host] = b.flowNext
 	case KindRelocationCommitted:
 		b.instant(ev, int(ev.Host), 0,
 			fmt.Sprintf("op%d move %s→%s", ev.Node, b.hostName(int(ev.Host)), b.hostName(int(ev.Peer))),
@@ -202,6 +276,13 @@ func (b *perfettoBuilder) add(ev Event) {
 		b.instant(ev, int(ev.Host), 0, fmt.Sprintf("image it%d", ev.Iter), "p",
 			map[string]any{"bytes": ev.Bytes})
 		b.counter(ev.At, "images-arrived", b.images)
+		if id, ok := b.flowTo[ev.Host]; ok {
+			if t, ok := b.lastXfer[ev.Host]; ok {
+				// Terminate the lineage inside the slice that delivered it.
+				b.flowPoint("f", id, usec(t.At-t.Dur/2), int(t.Host), 1+int(t.Peer))
+			}
+			delete(b.flowTo, ev.Host)
+		}
 	case KindDecisionStart:
 		if b.decisions == nil {
 			b.decisions = make(map[int64]Event)

@@ -12,16 +12,22 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // perfettoFixture exercises every exporter branch: transfer spans, a cut,
-// compose spans, relocations (committed and proposed), barrier lifecycle, a
-// crash/recover pair, probes, reinstantiation, and both counter tracks.
+// source-read and compose spans, the gating instant, a full lineage flow
+// (read → transfer → compose → transfer → arrival), relocations (committed
+// and proposed), barrier lifecycle, a crash/recover pair, probes,
+// reinstantiation, and both counter tracks.
 func perfettoFixture() []Event {
 	return []Event{
 		{Kind: KindDemandSent, At: 50_000_000, Host: 3, Peer: 0, Node: 0, Iter: 1},
-		{Kind: KindTransferStart, At: 100_000_000, Host: 0, Peer: 1, Bytes: 131072, Name: "data"},
+		{Kind: KindSourceRead, At: 90_000_000, Host: 0, Node: 0, Iter: 1, Bytes: 131072, Dur: 40_000_000},
+		{Kind: KindTransferStart, At: 100_000_000, Host: 0, Peer: 1, Bytes: 131072, Wait: 10_000_000, Name: "data"},
 		{Kind: KindProbeIssued, At: 200_000_000, Host: 0, Peer: 2, Node: 1, Value: 65536},
-		{Kind: KindTransferEnd, At: 1_100_000_000, Host: 0, Peer: 1, Bytes: 131072, Dur: 1_000_000_000, Value: 131072, Name: "data"},
+		{Kind: KindTransferEnd, At: 1_100_000_000, Host: 0, Peer: 1, Bytes: 131072, Dur: 1_000_000_000, Wait: 10_000_000, Startup: 50_000_000, Value: 131072, Name: "data"},
+		{Kind: KindComposeGated, At: 1_150_000_000, Host: 1, Node: 2, Peer: 0, Iter: 1, Bytes: 131072, Dur: 1_100_000_000},
 		{Kind: KindOperatorFired, At: 1_400_000_000, Host: 1, Node: 2, Iter: 1, Bytes: 131072, Dur: 250_000_000},
-		{Kind: KindDataServed, At: 1_500_000_000, Host: 1, Peer: 3, Node: 2, Iter: 1, Bytes: 131072},
+		{Kind: KindDataServed, At: 1_500_000_000, Host: 1, Peer: 3, Node: 2, Iter: 1, Bytes: 131072, Wait: 150_000_000},
+		{Kind: KindTransferEnd, At: 1_900_000_000, Host: 1, Peer: 3, Bytes: 131072, Dur: 400_000_000, Wait: 20_000_000, Startup: 50_000_000, Value: 131072, Name: "data"},
+		{Kind: KindImageArrived, At: 1_950_000_000, Host: 3, Iter: 1, Bytes: 131072},
 		{Kind: KindCriticalChanged, At: 1_600_000_000, Node: 2, Value: 1},
 		{Kind: KindRelocationProposed, At: 2_000_000_000, Node: 2, Host: 1, Peer: 2, Aux: "global"},
 		{Kind: KindBarrierEpoch, At: 2_100_000_000, Node: 7, Iter: 2, Host: 1},
@@ -108,7 +114,7 @@ func TestWritePerfettoWellFormed(t *testing.T) {
 			sawEvent = true
 		}
 	}
-	if spans != 2 {
-		t.Errorf("got %d spans, want 2 (one transfer, one compose)", spans)
+	if spans != 4 {
+		t.Errorf("got %d spans, want 4 (two transfers, one read, one compose)", spans)
 	}
 }
