@@ -17,6 +17,7 @@ import (
 	"wadc/internal/placement"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
+	"wadc/internal/tenant"
 	"wadc/internal/trace"
 	"wadc/internal/workload"
 )
@@ -209,6 +210,41 @@ func BenchmarkOneShotOptimize(b *testing.B) {
 		_ = placement.OneShotOptimize(initial, hosts, model, bw)
 	}
 }
+
+// benchMultiTenant measures one multi-tenant simulation: n concurrent query
+// trees (the standard four-policy mix) arriving open-loop onto one shared
+// 8-host network.
+func benchMultiTenant(b *testing.B, n int) {
+	links := func(a, c netmodel.HostID) *trace.Trace {
+		return trace.Constant("l", 128*1024)
+	}
+	specs := tenant.Population(tenant.PopulationConfig{
+		N: n, ArrivalRate: 10, Seed: 1, NumServers: 3, Iterations: 4,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunMulti(core.MultiConfig{
+			Seed: 1, NumServers: 8,
+			Links:    links,
+			Tenants:  specs,
+			Workload: workload.Config{ImagesPerServer: 4, MeanBytes: 64 * 1024, SpreadFrac: 0.1},
+			Period:   5 * time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != n {
+			b.Fatalf("completed %d of %d tenants", res.Completed, n)
+		}
+	}
+}
+
+// BenchmarkMultiTenant10/100/1000 measure how RunMulti scales with the
+// tenant count: the shared kernel and network are the constants, the
+// per-tenant dataflow graphs are the variable.
+func BenchmarkMultiTenant10(b *testing.B)   { benchMultiTenant(b, 10) }
+func BenchmarkMultiTenant100(b *testing.B)  { benchMultiTenant(b, 100) }
+func BenchmarkMultiTenant1000(b *testing.B) { benchMultiTenant(b, 1000) }
 
 // BenchmarkSingleRun measures one complete 8-server, 60-image simulation
 // under the global algorithm.

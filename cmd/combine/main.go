@@ -1,6 +1,8 @@
 // Command combine runs a single wide-area data-combination simulation and
 // prints its outcome: one network configuration, one combination order, one
-// placement algorithm.
+// placement algorithm. With -tenants N > 1 it instead runs N concurrent
+// query trees on one shared network (arriving open-loop at -arrival-rate)
+// and reports per-tenant outcomes plus cross-tenant fairness.
 //
 // Examples:
 //
@@ -8,6 +10,7 @@
 //	combine -servers 4 -alg local -shape left-deep -period 5m -iters 60
 //	combine -alg download-all -v
 //	combine -alg local -trace-out run.json -metrics-out run.csv
+//	combine -tenants 100 -arrival-rate 2 -servers 8 -iters 10
 //
 // -trace-out writes a Chrome trace-event/Perfetto timeline (open it at
 // https://ui.perfetto.dev), -events-out the raw structured event log as JSON
@@ -23,8 +26,9 @@ import (
 
 	"wadc/internal/core"
 	"wadc/internal/experiment"
-	"wadc/internal/placement"
+	"wadc/internal/metrics"
 	"wadc/internal/telemetry"
+	"wadc/internal/tenant"
 	"wadc/internal/trace"
 	"wadc/internal/workload"
 )
@@ -40,6 +44,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		config  = flag.Int("config", 0, "network configuration index")
 		verbose = flag.Bool("v", false, "print per-image arrival times and the move log")
+
+		tenants     = flag.Int("tenants", 1, "number of concurrent tenants (>1 switches to multi-tenant mode)")
+		arrivalRate = flag.Float64("arrival-rate", 1, "tenant arrivals per simulated second (multi-tenant mode)")
 
 		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event timeline JSON to this file")
 		eventsOut  = flag.String("events-out", "", "write the structured event log (JSON Lines) to this file")
@@ -67,23 +74,15 @@ func main() {
 		}
 	}
 
-	var policy placement.Policy
-	switch *alg {
-	case "download-all":
-		policy = placement.DownloadAll{}
-	case "one-shot":
-		policy = placement.OneShot{}
-	case "global":
-		policy = &placement.Global{Period: *period}
-	case "local":
-		policy = &placement.Local{Period: *period, Extra: *extra, Seed: *seed}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
+	policy, err := core.NewPolicy(*alg, core.PolicyOptions{Period: *period, Extra: *extra, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "combine: %v\n", err)
 		os.Exit(2)
 	}
-	treeShape := core.CompleteBinaryTree
-	if *shape == "left-deep" {
-		treeShape = core.LeftDeepTree
+	treeShape, err := core.ParseShape(*shape)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "combine: %v\n", err)
+		os.Exit(2)
 	}
 
 	pool := trace.NewStudyPool(*seed)
@@ -96,6 +95,19 @@ func main() {
 	if *traceOut != "" || *eventsOut != "" {
 		rec = &telemetry.Recorder{}
 		sink = telemetry.ModelOnly(rec)
+	}
+
+	if *tenants > 1 {
+		runMultiTenant(multiOpts{
+			tenants: *tenants, arrivalRate: *arrivalRate,
+			servers: *servers, alg: *alg, shape: *shape,
+			period: *period, iters: *iters, seed: *seed, config: *config,
+			verbose: *verbose,
+			links:   assignment.LinkFn(),
+			sink:    sink, rec: rec,
+			traceOut: *traceOut, eventsOut: *eventsOut, metricsOut: *metricsOut,
+		})
+		return
 	}
 
 	res, err := core.Run(core.RunConfig{
@@ -179,6 +191,131 @@ func main() {
 		for i, at := range res.Arrivals {
 			fmt.Printf("  image %3d at %9.1fs\n", i, at.Seconds())
 		}
+	}
+}
+
+// multiOpts carries the flag set into multi-tenant mode.
+type multiOpts struct {
+	tenants     int
+	arrivalRate float64
+	servers     int
+	alg, shape  string
+	period      time.Duration
+	iters       int
+	seed        int64
+	config      int
+	verbose     bool
+	links       core.LinkFn
+	sink        telemetry.Sink
+	rec         *telemetry.Recorder
+	traceOut    string
+	eventsOut   string
+	metricsOut  string
+}
+
+// runMultiTenant runs N concurrent query trees on the shared network and
+// prints per-tenant outcomes plus the cross-tenant fairness statistics.
+func runMultiTenant(o multiOpts) {
+	specs := tenant.Population(tenant.PopulationConfig{
+		N:           o.tenants,
+		ArrivalRate: o.arrivalRate,
+		Seed:        o.seed*7919 + int64(o.config),
+		NumServers:  o.servers,
+		Iterations:  o.iters,
+		Algorithms:  []string{o.alg},
+	})
+	for i := range specs {
+		specs[i].Shape = o.shape
+	}
+	res, err := core.RunMulti(core.MultiConfig{
+		Seed:       o.seed*7919 + int64(o.config),
+		NumServers: o.servers,
+		Links:      o.links,
+		Tenants:    specs,
+		Workload: workload.Config{
+			ImagesPerServer: o.iters,
+			MeanBytes:       workload.DefaultMeanBytes,
+			SpreadFrac:      workload.DefaultSpreadFrac,
+		},
+		Period:         o.period,
+		Telemetry:      o.sink,
+		CollectMetrics: o.metricsOut != "",
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "combine: %v\n", err)
+		os.Exit(1)
+	}
+
+	hostNames := make([]string, o.servers+1)
+	for i := 0; i < o.servers; i++ {
+		hostNames[i] = fmt.Sprintf("s%d", i)
+	}
+	hostNames[o.servers] = "client"
+	for _, out := range []struct {
+		path string
+		emit func(*os.File) error
+	}{
+		{o.traceOut, func(f *os.File) error { return telemetry.WritePerfetto(f, o.rec.Events(), hostNames) }},
+		{o.eventsOut, func(f *os.File) error { return telemetry.WriteJSONL(f, o.rec.Events()) }},
+		{o.metricsOut, func(f *os.File) error { return telemetry.WriteMetricsCSV(f, res.Metrics) }},
+	} {
+		if out.path == "" {
+			continue
+		}
+		if err := writeFile(out.path, out.emit); err != nil {
+			fmt.Fprintf(os.Stderr, "combine: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var latencies, throughputs []float64
+	for _, tr := range res.Tenants {
+		if tr.Completed && tr.Delivered > 0 {
+			latencies = append(latencies, tr.MeanLatency.Seconds())
+			// Per-tenant rates are fractions of an iteration per second;
+			// report iters/hour so the summary stays readable at %.2f.
+			throughputs = append(throughputs, tr.Throughput*3600)
+		}
+	}
+	fmt.Printf("tenants:            %d (%s, %.2f arrivals/s)\n", o.tenants, o.alg, o.arrivalRate)
+	fmt.Printf("servers:            %d shared hosts\n", o.servers)
+	fmt.Printf("completed/aborted:  %d / %d\n", res.Completed, res.Aborted)
+	fmt.Printf("jain fairness:      %.4f (iteration throughput)\n", res.JainFairness)
+	fmt.Printf("mean latency:       %s\n", metrics.Summarize(latencies))
+	fmt.Printf("throughput:         %s (iters/hour)\n", metrics.Summarize(throughputs))
+	fmt.Printf("network:            %d transfers, %.1f MB moved\n",
+		res.NetworkTransfers, float64(res.BytesMoved)/(1<<20))
+
+	// The busiest contended links: where tenants actually collide.
+	contended := 0
+	for _, ls := range res.LinkShares {
+		if ls.Share < 1 {
+			contended++
+		}
+	}
+	fmt.Printf("contention:         %d of %d (link, tenant) shares on shared links\n",
+		contended, len(res.LinkShares))
+
+	if o.verbose {
+		fmt.Println("\nper-tenant outcomes:")
+		tbl := metrics.NewTable("id", "alg", "arrive-s", "depart-s", "iters", "latency-s", "tput/s", "status")
+		for _, tr := range res.Tenants {
+			status := "completed"
+			if tr.Aborted {
+				status = "aborted"
+			}
+			tbl.AddRow(tr.Spec.ID, tr.Spec.Algorithm,
+				tr.ArrivedAt.Seconds(), tr.DepartedAt.Seconds(),
+				tr.Delivered, tr.MeanLatency.Seconds(), tr.Throughput, status)
+		}
+		fmt.Print(tbl)
+		fmt.Println("\nper-tenant traffic:")
+		ttbl := metrics.NewTable("tenant", "transfers", "MB", "busy-s")
+		for _, tt := range res.TenantTraffic {
+			ttbl.AddRow(tt.Tenant, tt.Transfers,
+				float64(tt.Bytes)/(1<<20), tt.Busy.Seconds())
+		}
+		fmt.Print(ttbl)
 	}
 }
 

@@ -15,8 +15,13 @@ import (
 // regrouped into a single value. Interleaved records (local decisions whose
 // monitoring probes suspend the operator mid-decision) are separated by Seq.
 type Decision struct {
-	// Seq is the decision id (unique within one run's event log).
+	// Seq is the decision id. Auditor Seq counters are per policy instance,
+	// so Seq alone is unique only within one tenant; multi-tenant logs key
+	// records by (Tenant, Seq).
 	Seq int64
+	// Tenant is the tenant whose policy made the decision (0 outside
+	// multi-tenant runs).
+	Tenant int32
 	// Algorithm is the policy that made the decision ("one-shot", "global",
 	// "local").
 	Algorithm string
@@ -68,63 +73,78 @@ type MoveSample struct {
 	Gain         float64
 }
 
+// decKey identifies one decision record in a (possibly multi-tenant) log:
+// Auditor Seq counters are per policy instance, so two tenants' records can
+// share a Seq and are separated by the tenant tag.
+type decKey struct {
+	tenant int32
+	seq    int64
+}
+
 // ExtractDecisions regroups a log's decision-* events into Decision values,
-// ordered by Seq. Records without a decision-start (truncated logs) are
-// dropped; records without a decision-end keep FinalCost = StartCost.
+// ordered by (Tenant, Seq). Records without a decision-start (truncated
+// logs) are dropped; records without a decision-end keep
+// FinalCost = StartCost.
 func ExtractDecisions(events []telemetry.Event) []Decision {
-	byseq := make(map[int64]*Decision)
-	order := []int64{}
-	get := func(seq int64) *Decision {
-		d := byseq[seq]
+	byseq := make(map[decKey]*Decision)
+	order := []decKey{}
+	get := func(k decKey) *Decision {
+		d := byseq[k]
 		if d == nil {
-			d = &Decision{Seq: seq, Iter: -1}
-			byseq[seq] = d
-			order = append(order, seq)
+			d = &Decision{Seq: k.seq, Tenant: k.tenant, Iter: -1}
+			byseq[k] = d
+			order = append(order, k)
 		}
 		return d
 	}
-	started := make(map[int64]bool)
+	started := make(map[decKey]bool)
 	for _, ev := range events {
+		k := decKey{tenant: ev.Tenant, seq: ev.Seq}
 		switch ev.Kind {
 		case telemetry.KindDecisionStart:
-			d := get(ev.Seq)
+			d := get(k)
 			d.Algorithm = ev.Aux
 			d.Decider = ev.Host
 			d.Iter = ev.Iter
 			d.Start, d.End = ev.At, ev.At
-			started[ev.Seq] = true
+			started[k] = true
 		case telemetry.KindDecisionBandwidth:
-			d := get(ev.Seq)
+			d := get(k)
 			d.Bandwidth = append(d.Bandwidth, BandwidthSample{
 				A: ev.Host, B: ev.Peer, BW: ev.Value, Probed: ev.Aux == "probe",
 			})
 		case telemetry.KindDecisionPath:
-			d := get(ev.Seq)
+			d := get(k)
 			d.StartCost = ev.Value
 			d.FinalCost = ev.Value
 			d.Path = parseNodeIDs(ev.Name)
 		case telemetry.KindDecisionCandidate:
-			d := get(ev.Seq)
+			d := get(k)
 			d.Candidates = append(d.Candidates, CandidateSample{
 				Op: ev.Node, From: ev.Host, To: ev.Peer,
 				Round: ev.Iter, Cost: ev.Value, Extra: ev.Aux == "extra",
 			})
 		case telemetry.KindDecisionMove:
-			d := get(ev.Seq)
+			d := get(k)
 			d.Moves = append(d.Moves, MoveSample{
 				Op: ev.Node, From: ev.Host, To: ev.Peer, Gain: ev.Value,
 			})
 		case telemetry.KindDecisionEnd:
-			d := get(ev.Seq)
+			d := get(k)
 			d.FinalCost = ev.Value
 			d.End = ev.At
 		}
 	}
 	var out []Decision
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-	for _, seq := range order {
-		if started[seq] {
-			out = append(out, *byseq[seq])
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].tenant != order[j].tenant {
+			return order[i].tenant < order[j].tenant
+		}
+		return order[i].seq < order[j].seq
+	})
+	for _, k := range order {
+		if started[k] {
+			out = append(out, *byseq[k])
 		}
 	}
 	return out
@@ -187,22 +207,29 @@ func Attribute(decisions []Decision, events []telemetry.Event) []Outcome {
 		bytes    int64
 		used     bool
 	}
-	var arrivals []int64
-	var commits []*commit
+	// Arrivals and commits are grouped by tenant: a decision is scored only
+	// against its own tenant's iterations and relocations, never a
+	// neighbour's.
+	arrivalsByTenant := make(map[int32][]int64)
+	commitsByTenant := make(map[int32][]*commit)
 	for _, ev := range events {
 		switch ev.Kind {
 		case telemetry.KindImageArrived:
-			arrivals = append(arrivals, ev.At)
+			arrivalsByTenant[ev.Tenant] = append(arrivalsByTenant[ev.Tenant], ev.At)
 		case telemetry.KindRelocationCommitted:
-			commits = append(commits, &commit{
+			commitsByTenant[ev.Tenant] = append(commitsByTenant[ev.Tenant], &commit{
 				at: ev.At, op: ev.Node, from: ev.Host, to: ev.Peer, bytes: ev.Bytes,
 			})
 		}
 	}
-	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+	for _, arrivals := range arrivalsByTenant {
+		sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+	}
 
 	out := make([]Outcome, 0, len(decisions))
 	for _, d := range decisions {
+		arrivals := arrivalsByTenant[d.Tenant]
+		commits := commitsByTenant[d.Tenant]
 		o := Outcome{Decision: d, PredErr: math.NaN()}
 		o.PreInterarrival = meanInterarrival(arrivalsBefore(arrivals, d.Start))
 		o.PostInterarrival = meanInterarrival(arrivalsAfter(arrivals, d.End))

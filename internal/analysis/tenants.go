@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"sort"
+
+	"wadc/internal/telemetry"
+)
+
+// FilterTenant returns the sub-log of events tagged with tenant t, in log
+// order. Critical-path extraction on a multi-tenant log must run on one
+// tenant's sub-log at a time: node IDs and iteration numbers are per-tenant
+// namespaces, so mixing tenants would alias unrelated operators.
+func FilterTenant(events []telemetry.Event, t int32) []telemetry.Event {
+	var out []telemetry.Event
+	for _, ev := range events {
+		if ev.Tenant == t {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// SplitByTenant partitions a log into per-tenant sub-logs, each in log
+// order. Tenant 0 holds shared infrastructure: kernel bookkeeping, fault
+// injection, and monitor demons.
+func SplitByTenant(events []telemetry.Event) map[int32][]telemetry.Event {
+	out := make(map[int32][]telemetry.Event)
+	for _, ev := range events {
+		out[ev.Tenant] = append(out[ev.Tenant], ev)
+	}
+	return out
+}
+
+// Tenants lists the tenant IDs present in the log, ascending.
+func Tenants(events []telemetry.Event) []int32 {
+	seen := make(map[int32]bool)
+	for _, ev := range events {
+		seen[ev.Tenant] = true
+	}
+	ids := make([]int32, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -74,6 +74,24 @@ type Config struct {
 	// whose behaviour is byte-identical to an engine built before this field
 	// existed.
 	Faults *faults.Injector
+
+	// SharedFaults suppresses Start's injector scheduling: the multi-tenant
+	// harness schedules the shared injector once and fans its crash/recover
+	// windows to every live engine through HostCrashed/HostRecovered. Without
+	// it, N engines sharing one injector would each schedule the same crash
+	// windows, replaying every fault N times.
+	SharedFaults bool
+
+	// Tenant namespaces the engine's mailbox ports and process names and tags
+	// every event its processes emit. Tenant 0 (the default) keeps the legacy
+	// un-prefixed names, byte-identical to an engine built before multi-
+	// tenancy existed.
+	Tenant int32
+
+	// OnComplete, when non-nil, is invoked once, in scheduler context, when
+	// the engine completes or aborts — the multi-tenant harness's departure
+	// hook.
+	OnComplete func()
 }
 
 // TransferRecord describes one data-message transfer, for protocol analysis.
@@ -197,7 +215,7 @@ func New(cfg Config) *Engine {
 			id:       id,
 			kind:     t.Node(id).Kind,
 			host:     cfg.Initial.Loc(id),
-			port:     basePort(id),
+			port:     basePort(cfg.Tenant, id),
 			alive:    true,
 			neighbor: make(map[plan.NodeID]addr),
 			lateMark: make(map[plan.NodeID]bool),
@@ -224,6 +242,30 @@ func New(cfg Config) *Engine {
 
 // Kernel returns the simulation kernel.
 func (e *Engine) Kernel() *sim.Kernel { return e.k }
+
+// Tenant returns the engine's tenant namespace (0 in single-tenant runs).
+func (e *Engine) Tenant() int32 { return e.cfg.Tenant }
+
+// procName prefixes a process name with the engine's tenant namespace so
+// concurrent tenants' processes stay distinguishable in traces and telemetry.
+func (e *Engine) procName(base string) string {
+	if e.cfg.Tenant == 0 {
+		return base
+	}
+	return fmt.Sprintf("t%d.%s", e.cfg.Tenant, base)
+}
+
+// spawn wraps Kernel.Spawn with the tenant namespace: the name is prefixed
+// and the process is tagged with the engine's tenant. Explicit tagging (not
+// just register inheritance) matters because crash-recovery spawns happen in
+// shared-infrastructure timer context, where the register holds 0.
+func (e *Engine) spawn(base string, fn func(p *sim.Proc)) *sim.Proc {
+	p := e.k.Spawn(e.procName(base), fn)
+	if e.cfg.Tenant != 0 {
+		p.SetTenant(e.cfg.Tenant)
+	}
+	return p
+}
 
 // Network returns the simulated network.
 func (e *Engine) Network() *netmodel.Network { return e.cfg.Net }
@@ -376,25 +418,27 @@ func (e *Engine) Start() {
 	for _, s := range t.Servers() {
 		n := e.nodes[s]
 		if e.resilient() {
-			n.proc = e.k.Spawn(fmt.Sprintf("server%d", s), func(p *sim.Proc) { n.resilientServerLoop(p) })
+			n.proc = e.spawn(fmt.Sprintf("server%d", s), func(p *sim.Proc) { n.resilientServerLoop(p) })
 		} else {
-			e.k.Spawn(fmt.Sprintf("server%d", s), func(p *sim.Proc) { n.serverLoop(p) })
+			e.spawn(fmt.Sprintf("server%d", s), func(p *sim.Proc) { n.serverLoop(p) })
 		}
 	}
 	for _, op := range t.Operators() {
 		n := e.nodes[op]
 		if e.resilient() {
-			n.proc = e.k.Spawn(fmt.Sprintf("op%d", op), func(p *sim.Proc) { n.resilientOperatorLoop(p) })
+			n.proc = e.spawn(fmt.Sprintf("op%d", op), func(p *sim.Proc) { n.resilientOperatorLoop(p) })
 		} else {
-			e.k.Spawn(fmt.Sprintf("op%d", op), func(p *sim.Proc) { n.operatorLoop(p) })
+			e.spawn(fmt.Sprintf("op%d", op), func(p *sim.Proc) { n.operatorLoop(p) })
 		}
 	}
 	cn := e.nodes[t.ClientNode()]
 	if e.resilient() {
-		cn.proc = e.k.Spawn("client", func(p *sim.Proc) { cn.resilientClientLoop(p) })
-		e.cfg.Faults.Schedule(e.k, e.onHostCrash, e.onHostRecover)
+		cn.proc = e.spawn("client", func(p *sim.Proc) { cn.resilientClientLoop(p) })
+		if !e.cfg.SharedFaults {
+			e.cfg.Faults.Schedule(e.k, e.onHostCrash, e.onHostRecover)
+		}
 	} else {
-		e.k.Spawn("client", func(p *sim.Proc) { cn.clientLoop(p) })
+		e.spawn("client", func(p *sim.Proc) { cn.clientLoop(p) })
 	}
 }
 
@@ -406,4 +450,7 @@ func (e *Engine) finish(arrivals []sim.Time) {
 		e.res.MeanInterarrival = e.res.Completion.Duration() / time.Duration(len(arrivals))
 	}
 	e.completed = true
+	if e.cfg.OnComplete != nil {
+		e.cfg.OnComplete()
+	}
 }

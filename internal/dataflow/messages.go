@@ -19,11 +19,24 @@ type addr struct {
 
 func (a addr) String() string { return fmt.Sprintf("h%d:%s", a.host, a.port) }
 
-// basePort is a node's initial mailbox name.
-func basePort(id plan.NodeID) string { return fmt.Sprintf("n%d", id) }
+// basePort is a node's initial mailbox name. Tenant 0 keeps the historical
+// un-prefixed names (byte-identical single-tenant telemetry); other tenants
+// get a "t<id>." namespace so concurrent trees on one host cannot collide.
+func basePort(tenant int32, id plan.NodeID) string {
+	if tenant == 0 {
+		return fmt.Sprintf("n%d", id)
+	}
+	return fmt.Sprintf("t%d.n%d", tenant, id)
+}
 
-// incarnationPort is the mailbox name after the node's seq-th relocation.
-func incarnationPort(id plan.NodeID, seq int) string { return fmt.Sprintf("n%d#%d", id, seq) }
+// incarnationPort is the mailbox name after the node's seq-th relocation,
+// namespaced like basePort.
+func incarnationPort(tenant int32, id plan.NodeID, seq int) string {
+	if tenant == 0 {
+		return fmt.Sprintf("n%d#%d", id, seq)
+	}
+	return fmt.Sprintf("t%d.n%d#%d", tenant, id, seq)
+}
 
 // msgKind discriminates protocol messages.
 type msgKind int

@@ -202,8 +202,12 @@ func (n *node) moveTo(p *sim.Proc, target netmodel.HostID, extraBytes int64, bar
 
 	// State transfer old -> new (the operator's own process performs it; the
 	// light-move requirement keeps extraBytes zero on the normal path).
+	xfer := "xfer"
+	if e.cfg.Tenant != 0 {
+		xfer = fmt.Sprintf("t%d.xfer", e.cfg.Tenant)
+	}
 	e.cfg.Net.Send(p, &netmodel.Message{
-		Src: oldHost, Dst: target, Port: "xfer",
+		Src: oldHost, Dst: target, Port: xfer,
 		Size: e.cfg.StateBytes + extraBytes, Prio: sim.PriorityControl,
 		Payload: &envelope{kind: kindMoveNotice, from: n.id},
 	})
@@ -214,7 +218,7 @@ func (n *node) moveTo(p *sim.Proc, target netmodel.HostID, extraBytes int64, bar
 
 	n.moveSeq++
 	n.host = target
-	n.port = incarnationPort(n.id, n.moveSeq)
+	n.port = incarnationPort(e.cfg.Tenant, n.id, n.moveSeq)
 
 	// Tell the consumer where we are now; barrier moves use barrier priority
 	// so the notice is not stuck behind bulk data.
@@ -248,7 +252,7 @@ func (n *node) moveTo(p *sim.Proc, target netmodel.HostID, extraBytes int64, bar
 // forwarder dies with its host: a crash invalidates the pointer, and senders
 // recover through demand retries and registry-based re-instantiation.
 func (e *Engine) spawnForwarder(n *node, oldHost netmodel.HostID, mb *sim.Mailbox) {
-	fp := e.k.Spawn(fmt.Sprintf("fwd-n%d-%d", n.id, n.moveSeq), func(p *sim.Proc) {
+	fp := e.spawn(fmt.Sprintf("fwd-n%d-%d", n.id, n.moveSeq), func(p *sim.Proc) {
 		for {
 			msg := mb.Recv(p).(*netmodel.Message)
 			if e.resilient() && !n.alive {

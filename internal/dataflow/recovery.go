@@ -86,6 +86,15 @@ type fetchState struct {
 
 func (e *Engine) resilient() bool { return e.cfg.Faults != nil }
 
+// HostCrashed and HostRecovered expose the injector callbacks so a shared-
+// fault harness (core.RunMulti) can schedule one injector and fan each
+// crash/recover window out to every live engine. Single-tenant runs never
+// call them; Start wires the callbacks directly.
+func (e *Engine) HostCrashed(h netmodel.HostID) { e.onHostCrash(h) }
+
+// HostRecovered is the recovery half of HostCrashed.
+func (e *Engine) HostRecovered(h netmodel.HostID) { e.onHostRecover(h) }
+
 func (e *Engine) hostDown(h netmodel.HostID) bool {
 	return e.cfg.Faults != nil && e.cfg.Faults.HostDown(h)
 }
@@ -160,6 +169,9 @@ func (e *Engine) abort() {
 		}
 		delete(e.fwds, h)
 	}
+	if e.cfg.OnComplete != nil {
+		e.cfg.OnComplete()
+	}
 }
 
 // onHostRecover restarts the host's data sources (their partitions are on
@@ -176,7 +188,7 @@ func (e *Engine) onHostRecover(h netmodel.HostID) {
 		}
 		n.alive = true
 		n.moveSeq++ // respawn counter for the process name; the port is pinned
-		n.proc = e.k.Spawn(fmt.Sprintf("server%d.%d", s, n.moveSeq),
+		n.proc = e.spawn(fmt.Sprintf("server%d.%d", s, n.moveSeq),
 			func(p *sim.Proc) { n.resilientServerLoop(p) })
 	}
 }
@@ -193,7 +205,7 @@ func (n *node) reinstantiate(c plan.NodeID, startIter int) {
 	}
 	child.moveSeq++
 	child.host = n.host
-	child.port = incarnationPort(c, child.moveSeq)
+	child.port = incarnationPort(e.cfg.Tenant, c, child.moveSeq)
 	child.held, child.lastSent, child.pendingMsgs = nil, nil, nil
 	child.fetch = nil
 	child.seenProps, child.pendProp = nil, nil
@@ -220,7 +232,7 @@ func (n *node) reinstantiate(c plan.NodeID, startIter int) {
 			Node: int32(c), Host: int32(n.host), Iter: int32(startIter),
 		})
 	}
-	child.proc = e.k.Spawn(fmt.Sprintf("op%d.%d", c, child.moveSeq),
+	child.proc = e.spawn(fmt.Sprintf("op%d.%d", c, child.moveSeq),
 		func(p *sim.Proc) { child.resilientOperatorLoop(p) })
 }
 

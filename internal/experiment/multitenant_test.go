@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiTenantSweep(t *testing.T) {
+	r, err := MultiTenant(Options{
+		Configs: 1, Servers: 4, Iterations: 3, Seed: 1,
+	}, []int{1, 8})
+	if err != nil {
+		t.Fatalf("MultiTenant: %v", err)
+	}
+	if len(r.Counts) != 2 {
+		t.Fatalf("counts = %v", r.Counts)
+	}
+	for i, n := range r.Counts {
+		if r.Completed[i]+r.Aborted[i] != n {
+			t.Errorf("n=%d: completed %d + aborted %d != n", n, r.Completed[i], r.Aborted[i])
+		}
+		if r.Fairness[i] <= 0 || r.Fairness[i] > 1 {
+			t.Errorf("n=%d: Jain index %v out of range", n, r.Fairness[i])
+		}
+	}
+	if r.MeanLatency[1] < r.MeanLatency[0] {
+		t.Errorf("contention made tenants faster: %v vs %v", r.MeanLatency[1], r.MeanLatency[0])
+	}
+	out := r.Render()
+	if !strings.Contains(out, "jain") || !strings.Contains(out, "tenants") {
+		t.Errorf("render missing columns:\n%s", out)
+	}
+}
+
+func TestMultiTenantReproducible(t *testing.T) {
+	o := Options{Configs: 1, Servers: 4, Iterations: 2, Seed: 3}
+	a, err := MultiTenant(o, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MultiTenant(o, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Error("same options rendered different sweeps")
+	}
+}

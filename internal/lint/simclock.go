@@ -18,6 +18,7 @@ var SimClockPackages = []string{
 	"wadc/internal/core",
 	"wadc/internal/trace",
 	"wadc/internal/workload",
+	"wadc/internal/tenant",
 }
 
 // simClockForbidden are the package-level functions of "time" that read or

@@ -91,6 +91,26 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(sumSq / float64(len(xs)))
 }
 
+// JainIndex returns Jain's fairness index of the allocations:
+// (Σx)² / (n·Σx²), in (0, 1] with 1 meaning perfectly equal shares. It is
+// the cross-tenant fairness statistic on per-tenant iteration throughput.
+// An empty slice yields 0; an all-zero slice (everyone equally starved)
+// yields 1.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // SortedCopy returns an ascending copy of xs.
 func SortedCopy(xs []float64) []float64 {
 	s := make([]float64, len(xs))

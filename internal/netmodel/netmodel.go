@@ -162,6 +162,11 @@ type Network struct {
 	dropped    int64 // messages lost to a drop fate or a down destination
 	duplicated int64 // messages delivered twice
 	cut        int64 // transfers aborted by a mid-transfer link blackout
+
+	// Per-tenant accounting (see tenants.go). Lazily allocated; in a
+	// single-tenant run everything accrues to tenant 0.
+	tenantStats map[int32]*tenantStats
+	linkBusy    map[linkTenantKey]int64
 }
 
 // NetOption configures a Network.
@@ -368,6 +373,7 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 			heldFirst = false
 			first.nic.Release()
 			n.cut++
+			n.accountCut(msg, time.Duration(failAt-wireStart))
 			if tel := n.k.Telemetry(); tel != nil {
 				n.k.Emit(telemetry.Event{
 					Kind: telemetry.KindTransferCut,
@@ -390,6 +396,7 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 	msg.DeliveredAt = n.k.Now()
 	n.transfers++
 	n.bytesMoved += msg.Size
+	n.accountTransfer(msg, dur)
 	if msg.Prio > sim.PriorityData {
 		n.controlSends++
 	}

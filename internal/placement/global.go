@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"fmt"
 	"time"
 
 	"wadc/internal/dataflow"
@@ -50,7 +51,11 @@ func (g *Global) Attach(x *Instance, e *dataflow.Engine) {
 		period = DefaultPeriod
 	}
 	g.au.Bind(e.Kernel(), "global")
-	e.Kernel().Spawn("global-placer", func(p *sim.Proc) {
+	name := "global-placer"
+	if t := e.Tenant(); t != 0 {
+		name = fmt.Sprintf("t%d.global-placer", t)
+	}
+	e.Kernel().Spawn(name, func(p *sim.Proc) {
 		for {
 			p.Hold(period)
 			if e.Completed() || e.Aborted() {

@@ -10,6 +10,11 @@ type event struct {
 	seq  uint64 // insertion sequence, breaks ties deterministically
 	fn   func()
 	proc *Proc
+	// tenant is the tenant register captured when the event was scheduled,
+	// restored while a pure callback runs so telemetry emitted from timer
+	// context is attributed to the tenant that armed the timer. (Process
+	// wake-ups take the tenant from the process itself instead.)
+	tenant int32
 	// index within the heap, maintained by the heap.Interface methods so
 	// that cancelled events can be removed in O(log n).
 	index     int

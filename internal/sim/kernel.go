@@ -87,6 +87,13 @@ type Kernel struct {
 	rng    *rand.Rand
 	tel    telemetry.Sink
 
+	// tenant is the current tenant register: the tenant tag of whichever
+	// process (or timer callback) is executing right now. Emit stamps it
+	// onto every event, so a multi-tenant run's telemetry is attributed
+	// without each emission site knowing about tenancy. 0 means
+	// single-tenant / shared infrastructure.
+	tenant int32
+
 	// yield is the control-transfer channel: whichever process goroutine is
 	// running hands control back to the scheduler by sending on it.
 	yield chan struct{}
@@ -116,6 +123,17 @@ func (k *Kernel) Now() Time { return k.now }
 // randomness must come from here (or from generators seeded from here) so
 // that simulations replay identically.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// CurrentTenant returns the tenant register: the tenant tag of the process
+// or timer callback currently executing (0 outside any tenant's context).
+// Shared-model layers (the network's per-tenant accounting) read it instead
+// of threading a tenant id through every call.
+func (k *Kernel) CurrentTenant() int32 { return k.tenant }
+
+// Pending returns the number of events still queued. After Run drains
+// cleanly it is zero; the multi-tenant harness asserts this to prove tenant
+// teardown leaked no timers or wake-ups.
+func (k *Kernel) Pending() int { return k.events.Len() }
 
 // AddSink appends a telemetry sink to the kernel's fan-out. Normally sinks
 // are installed via WithTelemetry/WithTracer at construction; AddSink exists
@@ -148,6 +166,9 @@ func (k *Kernel) Emit(ev telemetry.Event) {
 		return
 	}
 	ev.At = int64(k.now)
+	if ev.Tenant == 0 {
+		ev.Tenant = k.tenant
+	}
 	k.tel.Emit(ev)
 }
 
@@ -159,7 +180,7 @@ func (k *Kernel) schedule(at Time, fn func(), p *Proc) *event {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
 	}
-	ev := &event{at: at, seq: k.seq, fn: fn, proc: p}
+	ev := &event{at: at, seq: k.seq, fn: fn, proc: p, tenant: k.tenant}
 	k.seq++
 	k.events.push(ev)
 	return ev
@@ -238,7 +259,9 @@ func (k *Kernel) RunUntil(end Time) error {
 		case ev.proc != nil:
 			k.resume(ev.proc, signalWake)
 		case ev.fn != nil:
+			k.tenant = ev.tenant
 			ev.fn()
+			k.tenant = 0
 		}
 	}
 	k.killAll()
@@ -261,8 +284,14 @@ func (k *Kernel) resume(p *Proc, sig signal) {
 	if p.doomed {
 		sig = signalKill
 	}
+	// The tenant register follows control: everything the process does —
+	// including telemetry emitted from inside its blocking primitives — is
+	// attributed to its tenant. The kernel goroutine blocks on yield while
+	// the process runs, so the handoff is race-free.
+	k.tenant = p.tenant
 	p.resume <- sig
 	<-k.yield
+	k.tenant = 0
 }
 
 // Kill unwinds a single process: the next time the scheduler would resume p
@@ -278,7 +307,7 @@ func (k *Kernel) Kill(p *Proc) {
 	}
 	p.doomed = true
 	if k.tel != nil {
-		k.Emit(telemetry.Event{Kind: telemetry.KindProcKilled, Name: p.name})
+		k.Emit(telemetry.Event{Kind: telemetry.KindProcKilled, Name: p.name, Tenant: p.tenant})
 	}
 	k.schedule(k.now, nil, p)
 }

@@ -24,6 +24,11 @@ type Proc struct {
 	resume   chan signal
 	started  bool
 	finished bool
+	// tenant is the tenant tag stamped onto every event emitted while this
+	// process executes. Inherited from the spawner's context (Spawn copies
+	// the kernel's tenant register), so a whole per-tenant process tree is
+	// tagged by setting the tag once on its root bootstrap process.
+	tenant int32
 	// doomed marks a process killed by Kernel.Kill: its next resume —
 	// whatever scheduled it — delivers a kill signal instead of a wake, so
 	// the process unwinds (running its deferred cleanups) the next time the
@@ -34,7 +39,7 @@ type Proc struct {
 // Spawn creates a process running fn and schedules it to start at the current
 // simulated time. The name appears in traces and error messages.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{k: k, name: name, resume: make(chan signal), started: true}
+	p := &Proc{k: k, name: name, resume: make(chan signal), started: true, tenant: k.tenant}
 	k.procs = append(k.procs, p)
 	k.liveProc++
 	go func() {
@@ -59,6 +64,15 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
+
+// Tenant returns the process's tenant tag (0 outside multi-tenant runs).
+func (p *Proc) Tenant() int32 { return p.tenant }
+
+// SetTenant tags the process (and, transitively, every process it spawns and
+// every event emitted while it runs) as belonging to tenant t. Call it right
+// after Spawn, before the process first runs; the multi-tenant harness tags
+// each tenant's bootstrap process this way.
+func (p *Proc) SetTenant(t int32) { p.tenant = t }
 
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }

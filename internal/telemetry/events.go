@@ -187,6 +187,19 @@ const (
 	// KindHostRecovered: host Host came back up.
 	KindHostRecovered
 
+	// Multi-tenant lifecycle events.
+
+	// KindTenantArrived: tenant Tenant joined the shared network (Aux is its
+	// placement algorithm, Iter its configured iteration count, Host its
+	// client host). Emitted by the multi-tenant harness at the tenant's
+	// seeded arrival instant, before its dataflow graph is instantiated.
+	KindTenantArrived
+	// KindTenantDeparted: tenant Tenant finished (Aux "completed" or
+	// "aborted") and released its operators; Iter is the number of
+	// iterations it delivered, Dur its residence time (arrival to
+	// departure).
+	KindTenantDeparted
+
 	kindCount // sentinel; keep last
 )
 
@@ -229,6 +242,8 @@ var kindNames = [kindCount]string{
 	KindDecisionEnd:         "decision-end",
 	KindCrashFired:          "crash-fired",
 	KindHostRecovered:       "host-recovered",
+	KindTenantArrived:       "tenant-arrived",
+	KindTenantDeparted:      "tenant-departed",
 }
 
 var kindByName = func() map[string]Kind {
@@ -310,8 +325,15 @@ type Event struct {
 	// Value is a kind-specific measurement (bandwidth, attempt, flag).
 	Value float64 `json:"v,omitempty"`
 	// Seq correlates the events of one multi-event record (the placement-
-	// decision audit trail groups decision-* events by Seq).
+	// decision audit trail groups decision-* events by Seq). Seq counters
+	// are per policy instance, so in a multi-tenant log records are keyed by
+	// (Tenant, Seq).
 	Seq int64 `json:"u,omitempty"`
+	// Tenant identifies the client query the event belongs to in a
+	// multi-tenant run (stamped automatically by the kernel from the
+	// emitting process's tenant tag). 0 means single-tenant or shared
+	// infrastructure (fault windows, idle hosts).
+	Tenant int32 `json:"e,omitempty"`
 	// Name is a kind-specific identifier (process, mailbox, resource).
 	Name string `json:"s,omitempty"`
 	// Aux is a secondary identifier or tag.
@@ -432,6 +454,7 @@ func Hash(events []Event) uint64 {
 		w(uint64(ev.Startup))
 		w(math.Float64bits(ev.Value))
 		w(uint64(ev.Seq))
+		w(uint64(int64(ev.Tenant)))
 		h.Write([]byte(ev.Name))
 		h.Write([]byte{0})
 		h.Write([]byte(ev.Aux))

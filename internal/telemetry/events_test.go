@@ -85,6 +85,8 @@ var kindSamples = map[Kind]Event{
 	KindDecisionEnd:         {Kind: KindDecisionEnd, At: 32, Value: 11.25, Bytes: 42, Seq: 3},
 	KindCrashFired:          {Kind: KindCrashFired, At: 33, Host: 2, Dur: 90e9},
 	KindHostRecovered:       {Kind: KindHostRecovered, At: 34, Host: 2},
+	KindTenantArrived:       {Kind: KindTenantArrived, At: 35, Tenant: 7, Host: 8, Iter: 40, Aux: "global"},
+	KindTenantDeparted:      {Kind: KindTenantDeparted, At: 36, Tenant: 7, Iter: 40, Dur: 120e9, Aux: "completed"},
 }
 
 // TestEveryKindFullyWired is the exhaustiveness gate: each Kind (except the
@@ -188,7 +190,7 @@ func TestHashDistinguishesEveryField(t *testing.T) {
 	base := Event{
 		Kind: KindTransferEnd, At: 1, Host: 2, Peer: 3, Node: 4, Iter: 5,
 		Prio: 1, Bytes: 6, Dur: 7, Wait: 10, Startup: 11, Value: 8.5, Seq: 9,
-		Name: "a", Aux: "b",
+		Tenant: 12, Name: "a", Aux: "b",
 	}
 	h0 := Hash([]Event{base})
 	if h0 != Hash([]Event{base}) {
@@ -208,6 +210,7 @@ func TestHashDistinguishesEveryField(t *testing.T) {
 		func(e *Event) { e.Startup++ },
 		func(e *Event) { e.Value++ },
 		func(e *Event) { e.Seq++ },
+		func(e *Event) { e.Tenant++ },
 		func(e *Event) { e.Name = "z" },
 		func(e *Event) { e.Aux = "z" },
 	}
