@@ -158,6 +158,9 @@ func BenchmarkSimKernelEvents(b *testing.B) {
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
 	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(k.Scheduled())/secs, "events/s")
+	}
 }
 
 // BenchmarkSimProcessSwitch measures the goroutine-process context-switch
@@ -222,6 +225,7 @@ func benchMultiTenant(b *testing.B, n int) {
 		N: n, ArrivalRate: 10, Seed: 1, NumServers: 3, Iterations: 4,
 	})
 	b.ResetTimer()
+	var events int64
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunMulti(core.MultiConfig{
 			Seed: 1, NumServers: 8,
@@ -236,6 +240,10 @@ func benchMultiTenant(b *testing.B, n int) {
 		if res.Completed != n {
 			b.Fatalf("completed %d of %d tenants", res.Completed, n)
 		}
+		events += res.KernelEvents
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/s")
 	}
 }
 

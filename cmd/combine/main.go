@@ -11,10 +11,15 @@
 //	combine -alg download-all -v
 //	combine -alg local -trace-out run.json -metrics-out run.csv
 //	combine -tenants 100 -arrival-rate 2 -servers 8 -iters 10
+//	combine -tenants 1000 -arrival-rate 5 -perf -progress 2s -perf-out perf.json
 //
 // -trace-out writes a Chrome trace-event/Perfetto timeline (open it at
 // https://ui.perfetto.dev), -events-out the raw structured event log as JSON
-// Lines, and -metrics-out the run's metric registry as CSV.
+// Lines, and -metrics-out the run's metric registry as CSV. -perf prints a
+// host-process performance report (per-subsystem wall-time shares,
+// events/sec), -perf-out writes it as JSON for `simscope perf`, -progress
+// prints a heartbeat to stderr, and -cpuprofile/-memprofile capture pprof
+// profiles labelled by subsystem and tenant.
 package main
 
 import (
@@ -22,11 +27,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"wadc/internal/core"
 	"wadc/internal/experiment"
 	"wadc/internal/metrics"
+	"wadc/internal/obs"
 	"wadc/internal/telemetry"
 	"wadc/internal/tenant"
 	"wadc/internal/trace"
@@ -51,6 +59,12 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event timeline JSON to this file")
 		eventsOut  = flag.String("events-out", "", "write the structured event log (JSON Lines) to this file")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics as CSV to this file")
+
+		perf       = flag.Bool("perf", false, "print a host-process performance report (per-subsystem wall-time shares, events/sec)")
+		perfOut    = flag.String("perf-out", "", "write the performance report as JSON to this file (render with `simscope perf`)")
+		progress   = flag.Duration("progress", 0, "print a progress heartbeat to stderr at this interval (e.g. 2s; 0 disables)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (pprof-labelled by subsystem and tenant) to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile captured after the run to this file")
 	)
 	flag.Parse()
 
@@ -60,6 +74,9 @@ func main() {
 		{"-trace-out", *traceOut},
 		{"-events-out", *eventsOut},
 		{"-metrics-out", *metricsOut},
+		{"-perf-out", *perfOut},
+		{"-cpuprofile", *cpuProfile},
+		{"-memprofile", *memProfile},
 	} {
 		if out.path == "" {
 			continue
@@ -97,6 +114,20 @@ func main() {
 		sink = telemetry.ModelOnly(rec)
 	}
 
+	// Host-process performance instrumentation: one recorder feeds the
+	// report, the heartbeat, and the pprof labels. A nil recorder keeps
+	// every kernel hook on the zero-cost disabled path.
+	var perfRec *obs.Recorder
+	if *perf || *perfOut != "" || *progress > 0 || *cpuProfile != "" {
+		perfRec = obs.NewRecorder()
+	}
+	var heartbeat *obs.Progress
+	if *progress > 0 {
+		heartbeat = obs.NewProgress(perfRec, os.Stderr, *progress)
+		heartbeat.Start()
+	}
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+
 	if *tenants > 1 {
 		runMultiTenant(multiOpts{
 			tenants: *tenants, arrivalRate: *arrivalRate,
@@ -106,6 +137,8 @@ func main() {
 			links:   assignment.LinkFn(),
 			sink:    sink, rec: rec,
 			traceOut: *traceOut, eventsOut: *eventsOut, metricsOut: *metricsOut,
+			perf: *perf, perfOut: *perfOut, perfRec: perfRec,
+			heartbeat: heartbeat, stopProfiles: stopProfiles,
 		})
 		return
 	}
@@ -123,7 +156,12 @@ func main() {
 		},
 		Telemetry:      sink,
 		CollectMetrics: *metricsOut != "",
+		Perf:           perfRec,
 	})
+	stopProfiles()
+	if heartbeat != nil {
+		heartbeat.Stop()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "combine: %v\n", err)
 		os.Exit(1)
@@ -192,6 +230,7 @@ func main() {
 			fmt.Printf("  image %3d at %9.1fs\n", i, at.Seconds())
 		}
 	}
+	emitPerfReport(res.Perf, *perf, *perfOut)
 }
 
 // multiOpts carries the flag set into multi-tenant mode.
@@ -211,6 +250,12 @@ type multiOpts struct {
 	traceOut    string
 	eventsOut   string
 	metricsOut  string
+
+	perf         bool
+	perfOut      string
+	perfRec      *obs.Recorder
+	heartbeat    *obs.Progress
+	stopProfiles func()
 }
 
 // runMultiTenant runs N concurrent query trees on the shared network and
@@ -240,7 +285,12 @@ func runMultiTenant(o multiOpts) {
 		Period:         o.period,
 		Telemetry:      o.sink,
 		CollectMetrics: o.metricsOut != "",
+		Perf:           o.perfRec,
 	})
+	o.stopProfiles()
+	if o.heartbeat != nil {
+		o.heartbeat.Stop()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "combine: %v\n", err)
 		os.Exit(1)
@@ -316,6 +366,58 @@ func runMultiTenant(o multiOpts) {
 				float64(tt.Bytes)/(1<<20), tt.Busy.Seconds())
 		}
 		fmt.Print(ttbl)
+	}
+	emitPerfReport(res.Perf, o.perf, o.perfOut)
+}
+
+// emitPerfReport prints and/or writes the host-process performance report;
+// a nil report (instrumentation off) is a no-op.
+func emitPerfReport(rep *obs.Report, print bool, outPath string) {
+	if rep == nil {
+		return
+	}
+	if print {
+		fmt.Println()
+		fmt.Print(rep.Format())
+	}
+	if outPath != "" {
+		if err := writeFile(outPath, func(f *os.File) error { return rep.WriteJSON(f) }); err != nil {
+			fmt.Fprintf(os.Stderr, "combine: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// startProfiles begins CPU profiling if requested and returns a stop
+// function that also captures the heap profile; empty paths make both
+// no-ops. The stop function runs immediately after the simulation so the
+// profiles cover only the run, not report rendering.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "combine: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "combine: %v\n", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := writeFile(memPath, func(f *os.File) error { return pprof.WriteHeapProfile(f) }); err != nil {
+				fmt.Fprintf(os.Stderr, "combine: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 }
 

@@ -18,18 +18,20 @@ import (
 	"time"
 
 	"wadc/internal/experiment"
+	"wadc/internal/obs"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2, 6, 7, 8, 9, 10, discussion, ordering, ablations, faults, multitenant or all")
-		configs = flag.Int("configs", 300, "number of network configurations")
-		servers = flag.Int("servers", 8, "number of servers (figures 6, 7, 9, 10)")
-		iters   = flag.Int("iters", 180, "images per server")
-		seed    = flag.Int64("seed", 1, "random seed")
-		period  = flag.Duration("period", 10*time.Minute, "relocation period (figures 6, 7, 8, 10)")
-		workers = flag.Int("workers", 0, "max concurrent simulations (0: number of CPUs)")
-		telDir  = flag.String("telemetry-dir", "", "write per-cell event logs and metrics into this directory")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2, 6, 7, 8, 9, 10, discussion, ordering, ablations, faults, multitenant or all")
+		configs  = flag.Int("configs", 300, "number of network configurations")
+		servers  = flag.Int("servers", 8, "number of servers (figures 6, 7, 9, 10)")
+		iters    = flag.Int("iters", 180, "images per server")
+		seed     = flag.Int64("seed", 1, "random seed")
+		period   = flag.Duration("period", 10*time.Minute, "relocation period (figures 6, 7, 8, 10)")
+		workers  = flag.Int("workers", 0, "max concurrent simulations (0: number of CPUs)")
+		telDir   = flag.String("telemetry-dir", "", "write per-cell event logs and metrics into this directory")
+		progress = flag.Duration("progress", 0, "print a sweep progress heartbeat to stderr at this interval (e.g. 5s; 0 disables)")
 	)
 	flag.Parse()
 
@@ -41,6 +43,15 @@ func main() {
 		Period:       *period,
 		Workers:      *workers,
 		TelemetryDir: *telDir,
+	}
+	// The sweep heartbeat counts (configuration, algorithm) cells: RunSweep
+	// adds each figure's cells to the work meter as it starts and marks them
+	// done as they finish, so one recorder spans all requested figures.
+	if *progress > 0 {
+		opts.Perf = obs.NewRecorder()
+		hb := obs.NewProgress(opts.Perf, os.Stderr, *progress)
+		hb.Start()
+		defer hb.Stop()
 	}
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 	//lint:allow-walltime progress display only; simulated time never sees it

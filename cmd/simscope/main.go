@@ -14,20 +14,28 @@
 //	    configuration) are reported side by side. -v adds one audit line
 //	    per decision.
 //
-//	simscope critpath [-v] [-csv out.csv] run.jsonl
+//	simscope critpath [-v] [-csv out.csv] [-tenant id] run.jsonl
 //	    What actually gated each iteration? Walks the causal edges backward
 //	    from every image arrival and attributes the client-observed latency
 //	    to NIC queueing, transfer startup, payload time, compute and
 //	    idle-demand waits per link and host, then joins the realized paths
 //	    against the optimiser's decision records (predicted vs realized).
-//	    -v adds one attribution line per iteration; -csv exports the
-//	    per-iteration breakdown.
+//	    On a multi-tenant log a per-tenant table (p50/p95 latency,
+//	    attribution shares) follows the summary; -tenant restricts the
+//	    whole analysis to one tenant's sub-log. -v adds one attribution
+//	    line per iteration; -csv exports the per-iteration breakdown.
 //
 //	simscope diff a.jsonl b.jsonl
 //	    Are two runs the same run? Two same-seed, same-config logs must be
 //	    event-for-event identical (the determinism contract); the diff
 //	    reports zero divergence then, or pinpoints the first differing
 //	    event, the first diverging iteration and per-kind count deltas.
+//
+//	simscope perf [-csv out.csv] perf.json
+//	    Where did the host process spend its time? Renders a performance
+//	    report written by `combine -perf-out`: per-subsystem wall-time
+//	    shares, events/sec, transfers and MB/s, allocations and peak heap.
+//	    -csv exports the same report as CSV.
 //
 // Exit codes: 0 success, 1 runtime error (unreadable or malformed log),
 // 2 usage error, 3 diff divergence.
@@ -42,6 +50,7 @@ import (
 	"path/filepath"
 
 	"wadc/internal/analysis"
+	"wadc/internal/obs"
 	"wadc/internal/telemetry"
 )
 
@@ -77,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 3 // scriptable: diff exits non-zero on divergence
 		}
 		err = derr
+	case "perf":
+		err = cmdPerf(args[1:], stdout)
 	default:
 		fmt.Fprintf(stderr, "simscope: unknown command %q\n\n", args[0])
 		usage(stderr)
@@ -99,8 +110,9 @@ func usage(w io.Writer) {
 	fmt.Fprintf(w, `usage:
   simscope timeline <run.jsonl>
   simscope decisions [-v] <run.jsonl> [more.jsonl ...]
-  simscope critpath [-v] [-csv out.csv] <run.jsonl>
+  simscope critpath [-v] [-csv out.csv] [-tenant id] <run.jsonl>
   simscope diff <a.jsonl> <b.jsonl>
+  simscope perf [-csv out.csv] <perf.json>
 `)
 }
 
@@ -164,6 +176,7 @@ func cmdCritPath(args []string, stdout io.Writer) error {
 	fs.SetOutput(io.Discard)
 	verbose := fs.Bool("v", false, "print one attribution line per iteration")
 	csvPath := fs.String("csv", "", "write the per-iteration attribution CSV to this path")
+	tenantID := fs.Int("tenant", -1, "restrict the analysis to one tenant's sub-log (multi-tenant logs)")
 	if err := fs.Parse(args); err != nil {
 		return usageError(err.Error())
 	}
@@ -174,13 +187,26 @@ func cmdCritPath(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *tenantID >= 0 {
+		events = analysis.FilterTenant(events, int32(*tenantID))
+	}
 	paths := analysis.ExtractCritPaths(events)
 	fmt.Fprintf(stdout, "== %s ==\n", filepath.Base(fs.Arg(0)))
+	if *tenantID >= 0 {
+		fmt.Fprintf(stdout, "tenant %d sub-log (%d events)\n", *tenantID, len(events))
+	}
 	if len(paths) == 0 {
 		fmt.Fprintln(stdout, "no image-arrived events in log")
 		return nil
 	}
 	fmt.Fprint(stdout, analysis.FormatCritPathSummary(paths))
+	// A multi-tenant log gets the per-tenant aggregation; on a single-tenant
+	// log (or a -tenant sub-log) the table would repeat the summary.
+	if *tenantID < 0 {
+		if sums := analysis.SummarizeTenantCritPaths(events); len(sums) > 1 {
+			fmt.Fprint(stdout, analysis.FormatTenantCritPathTable(sums))
+		}
+	}
 	if *verbose {
 		fmt.Fprint(stdout, analysis.FormatCritPathTable(paths))
 	}
@@ -198,6 +224,43 @@ func cmdCritPath(args []string, stdout io.Writer) error {
 			return err
 		}
 		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdPerf(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("perf", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	csvPath := fs.String("csv", "", "write the report as CSV to this path")
+	if err := fs.Parse(args); err != nil {
+		return usageError(err.Error())
+	}
+	if fs.NArg() != 1 {
+		return usageError(fmt.Sprintf("perf wants exactly one report, got %d", fs.NArg()))
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, rerr := obs.ReadReport(f)
+	f.Close()
+	if rerr != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), rerr)
+	}
+	fmt.Fprintf(stdout, "== %s ==\n", filepath.Base(fs.Arg(0)))
+	fmt.Fprint(stdout, rep.Format())
+	if *csvPath != "" {
+		cf, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteCSV(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
 			return err
 		}
 	}

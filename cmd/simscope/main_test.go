@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"wadc/internal/obs"
 	"wadc/internal/telemetry"
 )
 
@@ -160,6 +161,139 @@ func TestCritPathCSVExport(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "iter,arrival_s,latency_s,") {
 		t.Errorf("csv header = %q", lines[0])
+	}
+}
+
+// tenantLog duplicates critpathLog's causal chain under two tenant IDs, as
+// a multi-tenant run's shared log would interleave them.
+func tenantLog(t *testing.T) string {
+	base := []telemetry.Event{
+		{Kind: telemetry.KindOperatorPlaced, At: 0, Node: 0, Host: 0, Aux: "server"},
+		{Kind: telemetry.KindOperatorPlaced, At: 0, Node: 2, Host: 1, Aux: "operator"},
+		{Kind: telemetry.KindOperatorPlaced, At: 0, Node: 3, Host: 2, Aux: "client"},
+		{Kind: telemetry.KindDemandSent, At: 0, Node: 2, Host: 2, Peer: 1},
+		{Kind: telemetry.KindSourceRead, At: 100, Node: 0, Host: 0, Bytes: 100, Dur: 50},
+		{Kind: telemetry.KindDataServed, At: 120, Node: 0, Host: 0, Peer: 1, Bytes: 100, Wait: 20},
+		{Kind: telemetry.KindTransferEnd, At: 220, Host: 0, Peer: 1, Bytes: 100, Dur: 90, Wait: 10, Startup: 30},
+		{Kind: telemetry.KindComposeGated, At: 220, Node: 2, Host: 1, Peer: 0, Bytes: 100, Dur: 220},
+		{Kind: telemetry.KindOperatorFired, At: 265, Node: 2, Host: 1, Dur: 40, Wait: 5},
+		{Kind: telemetry.KindDataServed, At: 280, Node: 2, Host: 1, Peer: 2, Bytes: 100, Wait: 15},
+		{Kind: telemetry.KindTransferEnd, At: 400, Host: 1, Peer: 2, Bytes: 100, Dur: 100, Wait: 20, Startup: 30},
+		{Kind: telemetry.KindImageArrived, At: 400, Host: 2, Bytes: 100},
+	}
+	var events []telemetry.Event
+	for _, tid := range []int32{1, 2} {
+		for _, ev := range base {
+			ev.Tenant = tid
+			events = append(events, ev)
+		}
+	}
+	return writeLog(t, "multi.jsonl", events)
+}
+
+func TestCritPathTenantTable(t *testing.T) {
+	log := tenantLog(t)
+	code, stdout, stderr := runCLI("critpath", log)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	for _, want := range []string{
+		"per-tenant realized critical paths:",
+		"t1    ",
+		"t2    ",
+		"p50-lat(s)",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output lacks %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestCritPathTenantFilter(t *testing.T) {
+	log := tenantLog(t)
+	code, stdout, stderr := runCLI("critpath", "-tenant", "2", log)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "tenant 2 sub-log") {
+		t.Errorf("output lacks sub-log banner:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "attribution (1 iterations") {
+		t.Errorf("filtered log should have exactly one iteration:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "per-tenant realized critical paths:") {
+		t.Errorf("-tenant output should not repeat the per-tenant table:\n%s", stdout)
+	}
+	// A tenant with no events in the log yields an empty sub-log.
+	code, stdout, _ = runCLI("critpath", "-tenant", "9", log)
+	if code != 0 || !strings.Contains(stdout, "no image-arrived events") {
+		t.Errorf("missing tenant: exit = %d, output = %q", code, stdout)
+	}
+}
+
+func TestPerfSubcommand(t *testing.T) {
+	rep := &obs.Report{
+		WallNs: 2_000_000_000,
+		Subsystems: []obs.SubsystemShare{
+			{Name: "sim", WallNs: 1_500_000_000, Share: 0.75},
+			{Name: "netmodel", WallNs: 500_000_000, Share: 0.25},
+		},
+		Events: 1_234_567, EventsPerSec: 617_283.5,
+		Transfers: 42, BytesMoved: 1 << 20,
+	}
+	path := filepath.Join(t.TempDir(), "perf.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	csvPath := filepath.Join(t.TempDir(), "perf.csv")
+	code, stdout, stderr := runCLI("perf", "-csv", csvPath, path)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	for _, want := range []string{
+		"host-process performance report",
+		"1,234,567",
+		"sim",
+		"75.0%",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output lacks %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "section,name,value,share\n") {
+		t.Errorf("csv header wrong:\n%s", data)
+	}
+	if !strings.Contains(string(data), "subsystem,sim,1500000000,") {
+		t.Errorf("csv lacks sim share row:\n%s", data)
+	}
+}
+
+func TestPerfBadInput(t *testing.T) {
+	if code, _, _ := runCLI("perf"); code != 2 {
+		t.Errorf("no args: exit = %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI("perf", bad)
+	if code != 1 {
+		t.Errorf("malformed report: exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "perf report") {
+		t.Errorf("stderr = %q", stderr)
 	}
 }
 

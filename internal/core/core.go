@@ -17,6 +17,7 @@ import (
 	"wadc/internal/faults"
 	"wadc/internal/monitor"
 	"wadc/internal/netmodel"
+	"wadc/internal/obs"
 	"wadc/internal/placement"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
@@ -108,6 +109,13 @@ type RunConfig struct {
 	// CollectMetrics attaches a telemetry.Collector to the run and snapshots
 	// its registry into RunResult.Metrics.
 	CollectMetrics bool
+	// Perf, when set, attaches a host-process performance recorder: the
+	// kernel attributes wall time per subsystem, counts events and
+	// transfers, and pprof-labels process goroutines; Run finalizes the
+	// recorder into RunResult.Perf. Like Telemetry, it is purely
+	// observational — a run with Perf attached produces byte-identical
+	// artifacts to the same run without it.
+	Perf *obs.Recorder
 }
 
 // RunResult is the outcome of one run.
@@ -138,6 +146,13 @@ type RunResult struct {
 	// (zero for policies that keep no stats, e.g. download-all and the
 	// stateless one-shot value).
 	Decisions placement.DecisionStats
+	// KernelEvents is the total number of events the kernel scheduled —
+	// the denominator for events/sec throughput, maintained whether or
+	// not a perf recorder is attached.
+	KernelEvents int64
+	// Perf is the finalized host-process performance report (nil unless
+	// RunConfig.Perf was set).
+	Perf *obs.Report
 }
 
 // Run executes one complete simulation and returns its result.
@@ -153,6 +168,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 
 	kOpts := []sim.Option{sim.WithSeed(cfg.Seed)}
+	if cfg.Perf != nil {
+		kOpts = append(kOpts, sim.WithObserver(cfg.Perf))
+	}
 	if cfg.Tracer != nil {
 		kOpts = append(kOpts, sim.WithTracer(cfg.Tracer))
 	}
@@ -218,12 +236,20 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	serverHosts, _ := plan.DefaultHostAssignment(cfg.NumServers)
 	images := workload.Generate(cfg.Seed, cfg.NumServers, cfg.Workload)
+	if cfg.Perf != nil {
+		// One progress unit per image the client will receive.
+		iters := cfg.Iterations
+		if iters <= 0 && len(images) > 0 {
+			iters = len(images[0])
+		}
+		cfg.Perf.AddWork(int64(iters))
+	}
 	model := plan.DefaultCostModel(workload.MeanBytes(images))
 	inst := placement.NewInstance(net, mon, tree, serverHosts, client.ID(), model)
 
 	var eng *dataflow.Engine
 	var initialPl *plan.Placement
-	k.Spawn("bootstrap", func(p *sim.Proc) {
+	bootstrap := k.Spawn("bootstrap", func(p *sim.Proc) {
 		initial := cfg.Policy.InitialPlacement(p, inst)
 		initialPl = initial.Clone()
 		eng = dataflow.New(dataflow.Config{
@@ -237,6 +263,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 		cfg.Policy.Attach(inst, eng)
 		eng.Start()
 	})
+	// The bootstrap process runs the policy's initial placement; the engine
+	// retags its own processes at spawn.
+	bootstrap.SetSubsystem(obs.SubsysPlacement)
 	if err := k.Run(); err != nil {
 		return RunResult{}, fmt.Errorf("core: simulation failed: %w", err)
 	}
@@ -253,6 +282,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		BytesMoved:          net.BytesMoved(),
 		InitialPlacement:    initialPl,
 		FinalPlacement:      eng.CurrentPlacement(),
+		KernelEvents:        int64(k.Scheduled()),
 	}
 	if inj != nil {
 		res.FaultPlan = faultPlan
@@ -264,6 +294,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	if da, ok := cfg.Policy.(placement.DecisionAudited); ok {
 		res.Decisions = da.DecisionStats()
+	}
+	if cfg.Perf != nil {
+		res.Perf = cfg.Perf.Report()
 	}
 	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"wadc/internal/metrics"
 	"wadc/internal/monitor"
 	"wadc/internal/netmodel"
+	"wadc/internal/obs"
 	"wadc/internal/placement"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
@@ -54,6 +55,11 @@ type MultiConfig struct {
 	Telemetry telemetry.Sink
 	// CollectMetrics snapshots the shared metric registry into the result.
 	CollectMetrics bool
+	// Perf, when set, attaches a host-process performance recorder to the
+	// shared kernel (see RunConfig.Perf); RunMulti finalizes it into
+	// MultiResult.Perf. Purely observational: artifacts are byte-identical
+	// with or without it.
+	Perf *obs.Recorder
 }
 
 // TenantResult is one tenant's outcome within a multi-tenant run.
@@ -111,6 +117,13 @@ type MultiResult struct {
 	TransfersCut       int64
 	// Metrics is the shared metric snapshot (nil unless CollectMetrics).
 	Metrics *telemetry.Snapshot
+	// KernelEvents is the total number of events the shared kernel
+	// scheduled — the events/sec denominator, maintained with or without
+	// a perf recorder.
+	KernelEvents int64
+	// Perf is the finalized host-process performance report (nil unless
+	// MultiConfig.Perf was set).
+	Perf *obs.Report
 }
 
 // tenantRun is the harness's per-tenant state: everything resolved at setup
@@ -158,6 +171,9 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 	}
 
 	kOpts := []sim.Option{sim.WithSeed(cfg.Seed)}
+	if cfg.Perf != nil {
+		kOpts = append(kOpts, sim.WithObserver(cfg.Perf))
+	}
 	if cfg.Tracer != nil {
 		kOpts = append(kOpts, sim.WithTracer(cfg.Tracer))
 	}
@@ -218,6 +234,21 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 		}
 		runs[i] = tr
 	}
+	if cfg.Perf != nil {
+		// One progress unit per image any tenant's client will receive.
+		var totalIters int64
+		for _, tr := range runs {
+			if tr.spec.Idle {
+				continue
+			}
+			iters := tr.spec.Iterations
+			if iters <= 0 && len(tr.images) > 0 {
+				iters = len(tr.images[0])
+			}
+			totalIters += int64(iters)
+		}
+		cfg.Perf.AddWork(totalIters)
+	}
 
 	// One injector schedule for the whole run: each crash/recover window fans
 	// out to every engine that has arrived and not yet departed. (Engines are
@@ -259,6 +290,7 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 		TenantTraffic:    net.TenantTraffic(),
 		LinkShares:       net.LinkShares(),
 		PendingEvents:    k.Pending(),
+		KernelEvents:     int64(k.Scheduled()),
 	}
 	var throughputs []float64
 	for i, tr := range runs {
@@ -304,6 +336,9 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 	}
 	if collector != nil {
 		res.Metrics = collector.Snapshot()
+	}
+	if cfg.Perf != nil {
+		res.Perf = cfg.Perf.Report()
 	}
 	return res, nil
 }
@@ -384,6 +419,7 @@ func launchTenant(k *sim.Kernel, net *netmodel.Network, mon *monitor.System,
 		eng.Start()
 	})
 	bp.SetTenant(sp.ID)
+	bp.SetSubsystem(obs.SubsysPlacement)
 }
 
 // departTenant records a tenant's departure the moment its engine completes

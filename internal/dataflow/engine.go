@@ -25,6 +25,7 @@ import (
 	"wadc/internal/faults"
 	"wadc/internal/monitor"
 	"wadc/internal/netmodel"
+	"wadc/internal/obs"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
 	"wadc/internal/telemetry"
@@ -261,6 +262,7 @@ func (e *Engine) procName(base string) string {
 // shared-infrastructure timer context, where the register holds 0.
 func (e *Engine) spawn(base string, fn func(p *sim.Proc)) *sim.Proc {
 	p := e.k.Spawn(e.procName(base), fn)
+	p.SetSubsystem(obs.SubsysDataflow)
 	if e.cfg.Tenant != 0 {
 		p.SetTenant(e.cfg.Tenant)
 	}

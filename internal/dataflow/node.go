@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wadc/internal/netmodel"
+	"wadc/internal/obs"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
 	"wadc/internal/telemetry"
@@ -275,6 +276,9 @@ func (e *Engine) spawnForwarder(n *node, oldHost netmodel.HostID, mb *sim.Mailbo
 			})
 		}
 	})
+	// Forwarding is recovery machinery, not steady-state dataflow: profile
+	// and attribute its wall time accordingly.
+	fp.SetSubsystem(obs.SubsysRecovery)
 	e.fwds[oldHost] = append(e.fwds[oldHost], fp)
 }
 
@@ -415,11 +419,15 @@ func (n *node) operatorLoop(p *sim.Proc) {
 		n.sendData(p, demand)
 
 		// Relocation window: barrier change-over first, then the policy.
+		// The hook runs the placement optimiser, so its wall time (and any
+		// move it orders) belongs to the placement obs region.
 		n.applySwitchIfDue(p, it+1)
 		if e.windowHook != nil {
+			prevRegion := p.EnterRegion(obs.SubsysPlacement)
 			if target, move := e.windowHook(p, n.id, it); move && target != n.host {
 				n.moveTo(p, target, 0, false)
 			}
+			p.ExitRegion(prevRegion)
 		}
 		if it+1 < e.cfg.Iterations {
 			n.produce(p, it+1)
@@ -509,6 +517,9 @@ func (n *node) clientLoop(p *sim.Proc) {
 					panic(fmt.Sprintf("dataflow: client expected iter %d, got %d", it, got.iter))
 				}
 				arrivals = append(arrivals, p.Now())
+				if rec := e.k.Obs(); rec != nil {
+					rec.WorkDone(1) // each arrived image is one progress unit
+				}
 				if e.tel != nil {
 					e.k.Emit(telemetry.Event{
 						Kind: telemetry.KindImageArrived,

@@ -58,6 +58,7 @@ import (
 	"sort"
 
 	"wadc/internal/netmodel"
+	"wadc/internal/obs"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
 	"wadc/internal/telemetry"
@@ -190,6 +191,7 @@ func (e *Engine) onHostRecover(h netmodel.HostID) {
 		n.moveSeq++ // respawn counter for the process name; the port is pinned
 		n.proc = e.spawn(fmt.Sprintf("server%d.%d", s, n.moveSeq),
 			func(p *sim.Proc) { n.resilientServerLoop(p) })
+		n.proc.SetSubsystem(obs.SubsysRecovery)
 	}
 }
 
@@ -234,6 +236,7 @@ func (n *node) reinstantiate(c plan.NodeID, startIter int) {
 	}
 	child.proc = e.spawn(fmt.Sprintf("op%d.%d", c, child.moveSeq),
 		func(p *sim.Proc) { child.resilientOperatorLoop(p) })
+	child.proc.SetSubsystem(obs.SubsysRecovery)
 }
 
 // demandChild sends (or re-sends) the fetch's demand to one producer,
@@ -475,12 +478,15 @@ func (n *node) resilientOperatorLoop(p *sim.Proc) {
 			}
 			n.sendData(p, env)
 
-			// Relocation window, as in the strict loop.
+			// Relocation window, as in the strict loop (placement region,
+			// same as operatorLoop).
 			n.applySwitchIfDue(p, it+1)
 			if e.windowHook != nil {
+				prevRegion := p.EnterRegion(obs.SubsysPlacement)
 				if target, move := e.windowHook(p, n.id, it); move && target != n.host {
 					n.moveTo(p, target, 0, false)
 				}
+				p.ExitRegion(prevRegion)
 			}
 			it++
 			if it < e.cfg.Iterations {
@@ -581,6 +587,9 @@ func (n *node) resilientClientLoop(p *sim.Proc) {
 		f := &fetchState{iter: it, prop: prop, targets: []plan.NodeID{root}}
 		n.runFetch(p, f, func(plan.NodeID) bool { return true })
 		arrivals = append(arrivals, p.Now())
+		if rec := e.k.Obs(); rec != nil {
+			rec.WorkDone(1) // each arrived image is one progress unit
+		}
 		if e.tel != nil {
 			e.k.Emit(telemetry.Event{
 				Kind: telemetry.KindImageArrived,

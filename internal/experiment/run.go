@@ -11,6 +11,7 @@ import (
 
 	"wadc/internal/core"
 	"wadc/internal/faults"
+	"wadc/internal/obs"
 	"wadc/internal/placement"
 	"wadc/internal/telemetry"
 	"wadc/internal/trace"
@@ -45,6 +46,14 @@ type Options struct {
 	// model-level event log and c<config>_<alg>.metrics.csv with its metric
 	// snapshot. Empty disables telemetry entirely.
 	TelemetryDir string
+	// Perf, when set, receives sweep-level progress: the work meter counts
+	// cells (SetWork/WorkDone) and each finished cell folds its kernel event
+	// count in via AddEvents, so a Progress heartbeat over this recorder
+	// shows percent done, ETA, and aggregate events/sec. The recorder is
+	// deliberately NOT attached to the per-cell kernels: cells run
+	// concurrently and the recorder's region clock is single-writer, so a
+	// sweep gets counters and progress but no per-subsystem shares.
+	Perf *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +187,9 @@ func RunSweep(o Options, shape core.TreeShape, algs []AlgSpec, pool *trace.Pool)
 	}
 	results := make([]Cell, len(jobs))
 	errs := make([]error, len(jobs))
+	if o.Perf != nil {
+		o.Perf.AddWork(int64(len(jobs)))
+	}
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, o.Workers)
@@ -209,6 +221,10 @@ func RunSweep(o Options, shape core.TreeShape, algs []AlgSpec, pool *trace.Pool)
 			if err != nil {
 				errs[i] = fmt.Errorf("config %d, %s: %w", j.cfg, a.Name, err)
 				return
+			}
+			if o.Perf != nil {
+				o.Perf.AddEvents(res.KernelEvents)
+				o.Perf.WorkDone(1)
 			}
 			if o.TelemetryDir != "" {
 				if err := writeCellTelemetry(o.TelemetryDir, j.cfg, a.Name, rec, res.Metrics); err != nil {

@@ -10,6 +10,49 @@ func TestSimClock(t *testing.T) {
 	runTest(t, SimClock, "simclock")
 }
 
+// TestSimClockSeam: the sanctioned seam package reads the wall clock
+// without diagnostics even though it is registered as a virtual-time
+// package; the identical reads in any other scoped package still fail
+// (TestSimClock runs the same call set over testdata/src/simclock and
+// requires every one to be flagged).
+func TestSimClockSeam(t *testing.T) {
+	origPkgs, origSeam := SimClockPackages, WallClockSeam
+	SimClockPackages = append(append([]string(nil), origPkgs...), "simclockseam")
+	WallClockSeam = "simclockseam"
+	defer func() { SimClockPackages, WallClockSeam = origPkgs, origSeam }()
+
+	l := newTestLoader(t)
+	pkg, err := l.load("simclockseam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{SimClock}); len(diags) != 0 {
+		t.Errorf("seam package produced %d diagnostics, want 0; first: %v", len(diags), diags[0])
+	}
+}
+
+// TestSimClockSeamIsScoped: with the seam pointed elsewhere, the same
+// package is an ordinary virtual-time package and every wall-clock read in
+// it fails — proof the exemption comes from the seam registration, not from
+// the package being out of scope.
+func TestSimClockSeamIsScoped(t *testing.T) {
+	origPkgs, origSeam := SimClockPackages, WallClockSeam
+	SimClockPackages = append(append([]string(nil), origPkgs...), "simclockseam")
+	WallClockSeam = "somewhere/else"
+	defer func() { SimClockPackages, WallClockSeam = origPkgs, origSeam }()
+
+	l := newTestLoader(t)
+	pkg, err := l.load("simclockseam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{SimClock})
+	// time.Now, time.Since, time.NewTicker: one diagnostic each.
+	if len(diags) != 3 {
+		t.Errorf("unregistered seam produced %d diagnostics, want 3: %v", len(diags), diags)
+	}
+}
+
 // TestSimClockOutOfScope: the same violations are legal outside the
 // virtual-time packages (cmd/, experiment drivers), so the analyzer must
 // stay silent when the package is not registered.

@@ -1,0 +1,26 @@
+// Package simclockseam stands in for the sanctioned wall-clock seam
+// (internal/obs): the test registers it both as a virtual-time package and
+// as the WallClockSeam, so every read below — flagged anywhere else in
+// scope — must produce no diagnostics here.
+package simclockseam
+
+import "time"
+
+// Recorder mirrors the seam's region clock: it reads the host clock freely.
+type Recorder struct{ start time.Time }
+
+func newRecorder() *Recorder { return &Recorder{start: time.Now()} }
+
+func (r *Recorder) nowNs() int64 { return int64(time.Since(r.start)) }
+
+func heartbeat(stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}

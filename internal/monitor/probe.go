@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wadc/internal/netmodel"
+	"wadc/internal/obs"
 	"wadc/internal/sim"
 	"wadc/internal/trace"
 )
@@ -57,9 +58,12 @@ func (s *System) EnableNetworkProbes() {
 	s.cfg.ProbeMode = ProbeNetwork
 	for i := 0; i < s.net.NumHosts(); i++ {
 		host := s.net.Host(netmodel.HostID(i))
-		s.net.Kernel().Spawn(fmt.Sprintf("monitor-demon-%s", host.Name()), func(p *sim.Proc) {
+		demon := s.net.Kernel().Spawn(fmt.Sprintf("monitor-demon-%s", host.Name()), func(p *sim.Proc) {
 			s.demonLoop(p, host)
 		})
+		// Probe traffic is network measurement: its demon time belongs to
+		// the netmodel slice of the perf report, not to any one tenant.
+		demon.SetSubsystem(obs.SubsysNet)
 	}
 }
 

@@ -33,9 +33,14 @@ func benchTransfers(b *testing.B, opts ...sim.Option) {
 			port.Recv(p)
 		}
 	})
+	// 16 KB per op: the testing package derives MB/s from this.
+	b.SetBytes(16 * 1024)
 	b.ResetTimer()
 	if err := k.Run(); err != nil {
 		b.Fatalf("Run: %v", err)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(k.Scheduled())/secs, "events/s")
 	}
 }
 

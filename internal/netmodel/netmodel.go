@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"wadc/internal/obs"
 	"wadc/internal/sim"
 	"wadc/internal/telemetry"
 	"wadc/internal/trace"
@@ -286,6 +287,12 @@ func (n *Network) FaultCounts() (dropped, duplicated, cut int64) {
 //
 //lint:hotpath
 func (n *Network) Send(p *sim.Proc, msg *Message) {
+	// Attribute the whole transfer — including any blocking on NICs — to
+	// the network model's obs region. Field writes when no recorder is
+	// attached; the restore is deferred so the fault-cut early return and
+	// the kill unwind both put the caller's region back.
+	prevRegion := p.EnterRegion(obs.SubsysNet)
+	defer p.ExitRegion(prevRegion)
 	msg.SentAt = n.k.Now()
 	prio := msg.Prio
 	if n.flatPrio {
@@ -396,6 +403,9 @@ func (n *Network) Send(p *sim.Proc, msg *Message) {
 	msg.DeliveredAt = n.k.Now()
 	n.transfers++
 	n.bytesMoved += msg.Size
+	if rec := n.k.Obs(); rec != nil {
+		rec.CountTransfer(msg.Size)
+	}
 	n.accountTransfer(msg, dur)
 	if msg.Prio > sim.PriorityData {
 		n.controlSends++

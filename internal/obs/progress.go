@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a periodic heartbeat for long runs: every interval it prints
+// one line with percent complete, events drained, events/sec, simulated
+// horizon, heap, and an ETA to w (normally stderr).
+//
+// It runs on its own goroutine and reads only the recorder's atomic
+// counters (plus runtime.ReadMemStats), so it can never perturb the
+// simulation: the kernel neither sees nor waits on it, and identical seeds
+// produce byte-identical artifacts with the heartbeat on or off.
+type Progress struct {
+	r        *Recorder
+	w        io.Writer
+	interval time.Duration
+
+	mu      sync.Mutex
+	done    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+	prev    snapshot
+}
+
+// NewProgress builds a heartbeat over recorder r writing to w. A zero or
+// negative interval defaults to 2s.
+func NewProgress(r *Recorder, w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &Progress{r: r, w: w, interval: interval}
+}
+
+// Start launches the heartbeat goroutine. Safe to call once; Stop must be
+// called before the recorder's owner finalizes the report.
+func (p *Progress) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started || p.r == nil {
+		return
+	}
+	p.started = true
+	p.done = make(chan struct{})
+	p.prev = p.r.snap()
+	p.r.heartbeatRunning.Store(true)
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		ticker := time.NewTicker(p.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-p.done:
+				return
+			case <-ticker.C:
+				p.tick()
+			}
+		}
+	}()
+}
+
+// Stop terminates the heartbeat goroutine and prints one final line so a
+// run shorter than the interval still reports its totals.
+func (p *Progress) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		return
+	}
+	p.started = false
+	close(p.done)
+	p.wg.Wait()
+	p.r.heartbeatRunning.Store(false)
+	p.tick()
+}
+
+// tick emits one heartbeat line from the current counter snapshot.
+func (p *Progress) tick() {
+	cur := p.r.snap()
+	p.r.SamplePeakHeap()
+	dtNs := cur.wallNs - p.prev.wallNs
+	var rate float64
+	if dtNs > 0 {
+		rate = float64(cur.events-p.prev.events) / (float64(dtNs) / 1e9)
+	}
+	p.prev = cur
+
+	line := fmt.Sprintf("[obs] t=%-8v events %s (%s/s)  sim-time %v  heap %s",
+		time.Duration(cur.wallNs).Round(100*time.Millisecond),
+		withCommas(cur.events), humanRate(rate),
+		time.Duration(cur.virtualNs).Round(time.Millisecond),
+		humanBytes(p.r.peakHeap.Load()))
+	if cur.workTotal > 0 {
+		pct := 100 * float64(cur.workDone) / float64(cur.workTotal)
+		line += fmt.Sprintf("  %5.1f%% (%d/%d)", pct, cur.workDone, cur.workTotal)
+		if cur.workDone > 0 && cur.workDone < cur.workTotal {
+			etaNs := float64(cur.wallNs) * float64(cur.workTotal-cur.workDone) / float64(cur.workDone)
+			line += fmt.Sprintf("  eta %v", time.Duration(etaNs).Round(time.Second))
+		}
+	}
+	fmt.Fprintln(p.w, line)
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SubsystemShare is one subsystem's slice of the run's wall time.
+type SubsystemShare struct {
+	Name   string  `json:"name"`
+	WallNs int64   `json:"wall_ns"`
+	Share  float64 `json:"share"`
+}
+
+// Report is the per-run host-process performance report produced by
+// Recorder.Report. It is attached to core.RunResult / core.MultiResult,
+// serialized as JSON by cmd/combine -perf-out, and rendered by
+// `simscope perf`.
+type Report struct {
+	WallNs          int64            `json:"wall_ns"`
+	Subsystems      []SubsystemShare `json:"subsystems"`
+	Events          int64            `json:"events"`
+	EventsPerSec    float64          `json:"events_per_sec"`
+	Transfers       int64            `json:"transfers"`
+	TransfersPerSec float64          `json:"transfers_per_sec"`
+	BytesMoved      int64            `json:"bytes_moved"`
+	MBPerSec        float64          `json:"mb_per_sec"`
+	Allocs          uint64           `json:"allocs"`
+	AllocBytes      uint64           `json:"alloc_bytes"`
+	PeakHeapBytes   uint64           `json:"peak_heap_bytes"`
+	VirtualNs       int64            `json:"virtual_ns"`
+	WorkDone        int64            `json:"work_done"`
+	WorkTotal       int64            `json:"work_total"`
+}
+
+// WallTime returns the measured run duration.
+func (rep *Report) WallTime() time.Duration { return time.Duration(rep.WallNs) }
+
+// ShareSum returns the sum of the per-subsystem shares. It is ~1.0 by
+// construction (every wall instant is attributed to exactly one
+// subsystem); the acceptance test asserts 0.95–1.0 to allow for clock
+// granularity on degenerate runs.
+func (rep *Report) ShareSum() float64 {
+	var sum float64
+	for _, s := range rep.Subsystems {
+		sum += s.Share
+	}
+	return sum
+}
+
+// Format renders the report as the human-readable block printed by
+// cmd/combine -perf and `simscope perf`.
+func (rep *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "host-process performance report\n")
+	fmt.Fprintf(&b, "  wall time      %v\n", rep.WallTime().Round(time.Microsecond))
+	fmt.Fprintf(&b, "  events         %s (%s events/s)\n", withCommas(rep.Events), humanRate(rep.EventsPerSec))
+	fmt.Fprintf(&b, "  transfers      %s (%s transfers/s, %.1f MB/s)\n",
+		withCommas(rep.Transfers), humanRate(rep.TransfersPerSec), rep.MBPerSec)
+	fmt.Fprintf(&b, "  allocations    %s (%s allocated, peak heap %s)\n",
+		withCommas(int64(rep.Allocs)), humanBytes(rep.AllocBytes), humanBytes(rep.PeakHeapBytes))
+	if rep.VirtualNs > 0 {
+		speedup := float64(rep.VirtualNs) / float64(rep.WallNs)
+		fmt.Fprintf(&b, "  virtual time   %v (%.0fx real time)\n",
+			time.Duration(rep.VirtualNs).Round(time.Millisecond), speedup)
+	}
+	if rep.WorkTotal > 0 {
+		fmt.Fprintf(&b, "  work           %d/%d units\n", rep.WorkDone, rep.WorkTotal)
+	}
+	fmt.Fprintf(&b, "  subsystem wall-time shares (sum %.1f%%):\n", rep.ShareSum()*100)
+	shares := make([]SubsystemShare, len(rep.Subsystems))
+	copy(shares, rep.Subsystems)
+	sort.SliceStable(shares, func(i, j int) bool { return shares[i].WallNs > shares[j].WallNs })
+	for _, s := range shares {
+		if s.WallNs == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "    %-10s %10v  %5.1f%%\n",
+			s.Name, time.Duration(s.WallNs).Round(time.Microsecond), s.Share*100)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the report as a two-section CSV: one row per subsystem
+// share, then one row per scalar metric.
+func (rep *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"section", "name", "value", "share"}); err != nil {
+		return err
+	}
+	for _, s := range rep.Subsystems {
+		if err := cw.Write([]string{"subsystem", s.Name,
+			strconv.FormatInt(s.WallNs, 10), fmtFloat(s.Share)}); err != nil {
+			return err
+		}
+	}
+	scalars := []struct {
+		name string
+		val  string
+	}{
+		{"wall_ns", strconv.FormatInt(rep.WallNs, 10)},
+		{"events", strconv.FormatInt(rep.Events, 10)},
+		{"events_per_sec", fmtFloat(rep.EventsPerSec)},
+		{"transfers", strconv.FormatInt(rep.Transfers, 10)},
+		{"transfers_per_sec", fmtFloat(rep.TransfersPerSec)},
+		{"bytes_moved", strconv.FormatInt(rep.BytesMoved, 10)},
+		{"mb_per_sec", fmtFloat(rep.MBPerSec)},
+		{"allocs", strconv.FormatUint(rep.Allocs, 10)},
+		{"alloc_bytes", strconv.FormatUint(rep.AllocBytes, 10)},
+		{"peak_heap_bytes", strconv.FormatUint(rep.PeakHeapBytes, 10)},
+		{"virtual_ns", strconv.FormatInt(rep.VirtualNs, 10)},
+		{"work_done", strconv.FormatInt(rep.WorkDone, 10)},
+		{"work_total", strconv.FormatInt(rep.WorkTotal, 10)},
+	}
+	for _, s := range scalars {
+		if err := cw.Write([]string{"metric", s.name, s.val, ""}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON serializes the report as indented JSON (the -perf-out format).
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadReport parses a JSON report written by WriteJSON.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("obs: parsing perf report: %w", err)
+	}
+	return &rep, nil
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// withCommas renders n with thousands separators (1234567 -> "1,234,567").
+func withCommas(n int64) string {
+	s := strconv.FormatInt(n, 10)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	if neg {
+		return "-" + b.String()
+	}
+	return b.String()
+}
+
+// humanRate renders a per-second rate compactly (1.2M, 340k, 12.3).
+func humanRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// humanBytes renders a byte count compactly (1.2 GB, 340 MB, 12 KB).
+func humanBytes(v uint64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", v)
+	}
+}

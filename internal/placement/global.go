@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wadc/internal/dataflow"
+	"wadc/internal/obs"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
 	"wadc/internal/telemetry"
@@ -55,7 +56,7 @@ func (g *Global) Attach(x *Instance, e *dataflow.Engine) {
 	if t := e.Tenant(); t != 0 {
 		name = fmt.Sprintf("t%d.global-placer", t)
 	}
-	e.Kernel().Spawn(name, func(p *sim.Proc) {
+	placer := e.Kernel().Spawn(name, func(p *sim.Proc) {
 		for {
 			p.Hold(period)
 			if e.Completed() || e.Aborted() {
@@ -82,4 +83,8 @@ func (g *Global) Attach(x *Instance, e *dataflow.Engine) {
 			}
 		}
 	})
+	placer.SetSubsystem(obs.SubsysPlacement)
+	if t := e.Tenant(); t != 0 {
+		placer.SetTenant(t)
+	}
 }

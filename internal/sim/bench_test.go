@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"wadc/internal/obs"
 	"wadc/internal/telemetry"
 )
 
@@ -62,6 +63,13 @@ func BenchmarkSimProcessSwitchTracer(b *testing.B) {
 	benchProcessSwitch(b, WithTracer(func(Time, string, ...any) {}))
 }
 
+// BenchmarkSimProcessSwitchObserved measures the scheduler with a perf
+// recorder attached: per dispatch, one event count (two atomics) and two
+// region-clock switches (a wall-clock read and an atomic add each).
+func BenchmarkSimProcessSwitchObserved(b *testing.B) {
+	benchProcessSwitch(b, WithObserver(obs.NewRecorder()))
+}
+
 func runAllocs(rounds int, opts ...Option) float64 {
 	return testing.AllocsPerRun(10, func() {
 		k := NewKernel(opts...)
@@ -86,5 +94,23 @@ func TestTelemetryEmissionAllocFree(t *testing.T) {
 	if withSink > base+float64(rounds)/100 {
 		t.Errorf("telemetry sink adds allocations: base=%.1f with=%.1f over %d rounds",
 			base, withSink, rounds)
+	}
+}
+
+// TestObserverAllocFree: the observed hot path must not allocate either —
+// every obs hook is a field write, an atomic, or a region-clock switch.
+// The disabled path is the no-option baseline by construction (nil recorder,
+// every hook guarded), exactly like telemetry's nil sink; this bounds the
+// strictly-more-expensive enabled path. Labels are disabled because
+// relabelling is a per-process (not per-event) cost and may allocate.
+func TestObserverAllocFree(t *testing.T) {
+	const rounds = 400
+	base := runAllocs(rounds)
+	rec := obs.NewRecorder()
+	rec.DisableLabels()
+	observed := runAllocs(rounds, WithObserver(rec))
+	if observed > base+float64(rounds)/100 {
+		t.Errorf("perf recorder adds allocations: base=%.1f observed=%.1f over %d rounds",
+			base, observed, rounds)
 	}
 }

@@ -1,6 +1,10 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"wadc/internal/obs"
+)
 
 // event is a scheduled occurrence: at time at, either run fn (a pure callback
 // executed in the scheduler's own goroutine) or wake proc (transfer control to
@@ -15,6 +19,11 @@ type event struct {
 	// context is attributed to the tenant that armed the timer. (Process
 	// wake-ups take the tenant from the process itself instead.)
 	tenant int32
+	// subsys is the obs region captured when a pure callback was
+	// scheduled, so wall time spent in timer callbacks is attributed to
+	// the subsystem that armed the timer. Only written when a recorder is
+	// attached; process wake-ups use the process's own region instead.
+	subsys obs.Subsystem
 	// index within the heap, maintained by the heap.Interface methods so
 	// that cancelled events can be removed in O(log n).
 	index     int

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"wadc/internal/obs"
 	"wadc/internal/telemetry"
 )
 
@@ -49,6 +50,18 @@ func WithTelemetry(s telemetry.Sink) Option {
 	return func(k *Kernel) { k.AddSink(s) }
 }
 
+// WithObserver attaches a host-process performance recorder: the kernel
+// counts every dispatched event, attributes wall time to the subsystem of
+// whatever it dispatches, and pprof-labels process goroutines by subsystem
+// and tenant. Observation is off by default and every hook is guarded on
+// the nil recorder, so a run without one pays nothing — the same
+// guard-before-construct discipline telemetry follows. The recorder only
+// ever reads the simulation; it can never change event order, so identical
+// seeds produce byte-identical artifacts with observation on or off.
+func WithObserver(r *obs.Recorder) Option {
+	return func(k *Kernel) { k.obs = r }
+}
+
 // tracerSink adapts the legacy printf Tracer onto the structured event
 // stream, reproducing the historical trace lines byte-for-byte. Model-level
 // events (which did not exist in the printf era) are ignored, keeping legacy
@@ -86,6 +99,7 @@ type Kernel struct {
 	procs  []*Proc
 	rng    *rand.Rand
 	tel    telemetry.Sink
+	obs    *obs.Recorder // nil unless WithObserver attached a perf recorder
 
 	// tenant is the current tenant register: the tenant tag of whichever
 	// process (or timer callback) is executing right now. Emit stamps it
@@ -135,6 +149,17 @@ func (k *Kernel) CurrentTenant() int32 { return k.tenant }
 // teardown leaked no timers or wake-ups.
 func (k *Kernel) Pending() int { return k.events.Len() }
 
+// Scheduled returns the total number of events ever scheduled on this
+// kernel (the tie-break sequence counter). It is maintained regardless of
+// observation, so benchmarks can report events/sec without attaching a
+// recorder.
+func (k *Kernel) Scheduled() uint64 { return k.seq }
+
+// Obs returns the attached performance recorder, or nil when host-process
+// observation is disabled. Model layers cache this once and guard their
+// hooks on the nil check, exactly like Telemetry.
+func (k *Kernel) Obs() *obs.Recorder { return k.obs }
+
 // AddSink appends a telemetry sink to the kernel's fan-out. Normally sinks
 // are installed via WithTelemetry/WithTracer at construction; AddSink exists
 // so higher layers (e.g. the run harness) can attach sinks after building the
@@ -181,6 +206,12 @@ func (k *Kernel) schedule(at Time, fn func(), p *Proc) *event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
 	}
 	ev := &event{at: at, seq: k.seq, fn: fn, proc: p, tenant: k.tenant}
+	if k.obs != nil && fn != nil {
+		// Attribute the future callback to the subsystem arming it now
+		// (a relocation timer runs as placement, a retry timer as its
+		// dataflow engine). Field write only: nothing allocated.
+		ev.subsys = k.obs.Current()
+	}
 	k.seq++
 	k.events.push(ev)
 	return ev
@@ -243,6 +274,17 @@ func (k *Kernel) RunUntil(end Time) error {
 	k.running = true
 	defer func() { k.running = false }()
 
+	if k.obs != nil {
+		// The scheduler loop itself — heap pops, switch overhead — accrues
+		// to "sim"; each dispatch switches the region clock to the
+		// subsystem of what it dispatches and back. Every wall instant of
+		// the loop lands in exactly one bucket, so the report's shares sum
+		// to the run time by construction.
+		k.obs.SwitchTo(obs.SubsysSim)
+		if k.obs.LabelsEnabled() {
+			obs.LabelGoroutine(obs.SubsysSim, 0)
+		}
+	}
 	for !k.stopped && k.procErr == nil && k.events.Len() > 0 {
 		ev := k.events.pop()
 		if ev.cancelled {
@@ -255,16 +297,35 @@ func (k *Kernel) RunUntil(end Time) error {
 			break
 		}
 		k.now = ev.at
+		if k.obs != nil {
+			k.obs.CountEvent(int64(k.now))
+		}
 		switch {
 		case ev.proc != nil:
-			k.resume(ev.proc, signalWake)
+			if k.obs != nil {
+				k.obs.SwitchTo(ev.proc.subsys)
+				k.resume(ev.proc, signalWake)
+				k.obs.SwitchTo(obs.SubsysSim)
+			} else {
+				k.resume(ev.proc, signalWake)
+			}
 		case ev.fn != nil:
+			if k.obs != nil {
+				k.obs.SwitchTo(ev.subsys)
+			}
 			k.tenant = ev.tenant
 			ev.fn()
 			k.tenant = 0
+			if k.obs != nil {
+				k.obs.SwitchTo(obs.SubsysSim)
+			}
 		}
 	}
 	k.killAll()
+	if k.obs != nil {
+		// Post-drain work (result assembly, teardown) is harness territory.
+		k.obs.SwitchTo(obs.SubsysSetup)
+	}
 	switch {
 	case k.procErr != nil:
 		return k.procErr

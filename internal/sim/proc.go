@@ -3,6 +3,7 @@ package sim
 import (
 	"time"
 
+	"wadc/internal/obs"
 	"wadc/internal/telemetry"
 )
 
@@ -34,6 +35,13 @@ type Proc struct {
 	// the process unwinds (running its deferred cleanups) the next time the
 	// scheduler reaches it.
 	doomed bool
+	// subsys is the process's current obs region: the subsystem its wall
+	// time is attributed to when a performance recorder is attached. Set
+	// once at spawn (SetSubsystem) for the process's home layer; shifted
+	// temporarily by EnterRegion/ExitRegion when it calls into another
+	// layer (e.g. a dataflow process blocking inside the network model).
+	// Untouched runs leave it at the zero value ("other") at no cost.
+	subsys obs.Subsystem
 }
 
 // Spawn creates a process running fn and schedules it to start at the current
@@ -45,6 +53,13 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	go func() {
 		sig := <-p.resume
 		if sig != signalKill {
+			if k.obs != nil && k.obs.LabelsEnabled() {
+				// Tag the goroutine's CPU-profile samples with the
+				// process's home subsystem and tenant. First resume runs
+				// after SetSubsystem/SetTenant calls made at spawn time,
+				// so the tags are already in place.
+				obs.LabelGoroutine(p.subsys, p.tenant)
+			}
 			func() {
 				defer func() {
 					if r := recover(); r != nil && r != errKilled { //nolint:errorlint // sentinel identity
@@ -73,6 +88,41 @@ func (p *Proc) Tenant() int32 { return p.tenant }
 // after Spawn, before the process first runs; the multi-tenant harness tags
 // each tenant's bootstrap process this way.
 func (p *Proc) SetTenant(t int32) { p.tenant = t }
+
+// SetSubsystem declares the process's home obs region: the subsystem its
+// wall time and CPU-profile samples are attributed to while it runs. Call
+// it right after Spawn, like SetTenant. A field write — free, and harmless
+// when no recorder is attached.
+func (p *Proc) SetSubsystem(s obs.Subsystem) { p.subsys = s }
+
+// Subsystem returns the process's current obs region.
+func (p *Proc) Subsystem() obs.Subsystem { return p.subsys }
+
+// EnterRegion shifts the process's obs region to s for the duration of a
+// cross-layer call and returns the previous region for ExitRegion. The
+// shift sticks across blocking: if the process yields mid-call (waiting on
+// a NIC, say), its next resume is attributed to s, not to its home
+// subsystem. Both calls are field writes plus one guarded region-clock
+// switch — zero allocations, no-ops without a recorder.
+//
+//	prev := p.EnterRegion(obs.SubsysNet)
+//	defer p.ExitRegion(prev)
+func (p *Proc) EnterRegion(s obs.Subsystem) obs.Subsystem {
+	prev := p.subsys
+	p.subsys = s
+	if p.k.obs != nil {
+		p.k.obs.SwitchTo(s)
+	}
+	return prev
+}
+
+// ExitRegion restores the obs region saved by the matching EnterRegion.
+func (p *Proc) ExitRegion(prev obs.Subsystem) {
+	p.subsys = prev
+	if p.k.obs != nil {
+		p.k.obs.SwitchTo(prev)
+	}
+}
 
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }

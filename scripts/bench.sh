@@ -41,17 +41,21 @@ BEGIN {
 /^pkg:/ { pkg = $2 }
 /^Benchmark/ {
   name = $1; iters = $2
-  nsop = ""; bop = ""; allocs = ""
+  nsop = ""; bop = ""; allocs = ""; mbs = ""; evs = ""
   for (i = 3; i < NF; i++) {
     if ($(i+1) == "ns/op") nsop = $i
     if ($(i+1) == "B/op") bop = $i
     if ($(i+1) == "allocs/op") allocs = $i
+    if ($(i+1) == "MB/s") mbs = $i
+    if ($(i+1) == "events/s") evs = $i
   }
   if (n++) printf ",\n"
   printf "    {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s", pkg, name, iters
   if (nsop != "")   printf ", \"ns_per_op\": %s", nsop
   if (bop != "")    printf ", \"bytes_per_op\": %s", bop
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  if (mbs != "")    printf ", \"mb_per_sec\": %s", mbs
+  if (evs != "")    printf ", \"events_per_sec\": %s", evs
   printf "}"
 }
 END { printf "\n  ]\n}\n" }

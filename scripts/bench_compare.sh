@@ -32,27 +32,49 @@ def load(path):
 base, new = load(sys.argv[1]), load(sys.argv[2])
 THRESH = 0.15  # warn when ns/op moved more than this fraction either way
 
+def rate(v):
+    if v is None:
+        return "-"
+    if v >= 1e6:
+        return f"{v/1e6:.2f}M"
+    if v >= 1e3:
+        return f"{v/1e3:.0f}k"
+    return f"{v:.0f}"
+
 rows, warned = [], 0
 for key in sorted(new):
     nb = new[key]
     bb = base.get(key)
+    allocs, evs = nb.get("allocs_per_op"), nb.get("events_per_sec")
     if bb is None or "ns_per_op" not in nb or "ns_per_op" not in bb:
-        rows.append((key, nb.get("ns_per_op"), None, "new"))
+        rows.append((key, nb.get("ns_per_op"), None, allocs, None, evs, None, "new"))
         continue
     old, cur = bb["ns_per_op"], nb["ns_per_op"]
     delta = (cur - old) / old if old else 0.0
+    dallocs = None
+    if allocs is not None and bb.get("allocs_per_op") is not None:
+        dallocs = allocs - bb["allocs_per_op"]
+    devs = None
+    if evs and bb.get("events_per_sec"):
+        devs = (evs - bb["events_per_sec"]) / bb["events_per_sec"]
     flag = ""
     if delta > THRESH:
         flag, warned = "SLOWER", warned + 1
     elif delta < -THRESH:
         flag = "faster"
-    rows.append((key, cur, delta, flag))
+    if dallocs:
+        # Any alloc-count movement on a hot path is signal, never noise.
+        flag = (flag + " " if flag else "") + f"allocs{dallocs:+d}"
+        warned += 1
+    rows.append((key, cur, delta, allocs, dallocs, evs, devs, flag))
 
 w = max(len(f"{p}.{n}") for (p, n), *_ in rows)
-print(f"{'benchmark'.ljust(w)}  {'ns/op':>12}  {'vs base':>8}  note")
-for (pkg, name), cur, delta, flag in rows:
+print(f"{'benchmark'.ljust(w)}  {'ns/op':>12}  {'vs base':>8}  {'allocs/op':>9}  {'events/s':>9}  {'vs base':>8}  note")
+for (pkg, name), cur, delta, allocs, dallocs, evs, devs, flag in rows:
     d = "    new " if delta is None else f"{delta:+7.1%}"
-    print(f"{(pkg + '.' + name).ljust(w)}  {cur:>12}  {d}  {flag}")
+    a = "-" if allocs is None else str(allocs)
+    e = "    -   " if devs is None else f"{devs:+7.1%}"
+    print(f"{(pkg + '.' + name).ljust(w)}  {cur:>12}  {d}  {a:>9}  {rate(evs):>9}  {e}  {flag}")
 
 gone = sorted(set(base) - set(new))
 for pkg, name in gone:

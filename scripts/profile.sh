@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Capture host-process performance artifacts for the simulator's hot paths
+# into a directory (default ./profiles):
+#
+#   cpu.out / mem.out            CPU and heap pprof of BenchmarkMultiTenant100
+#                                (the shared-kernel scaling path)
+#   combine_cpu.out / _mem.out   profiles of a 200-tenant combine run with a
+#                                perf recorder attached, so samples carry
+#                                subsystem/tenant pprof labels
+#   perf.json / perf.csv         the run's performance report (per-subsystem
+#                                wall-time shares, events/sec), rendered by
+#                                `simscope perf`
+#   combine_perf.txt             the human-readable report
+#
+# Usage: scripts/profile.sh [outdir]
+#   BENCH_TIME=5x   benchmark time for the profiled benchmark
+#
+# Inspect labelled profiles with: go tool pprof -tags profiles/combine_cpu.out
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+outdir="${1:-profiles}"
+benchtime="${BENCH_TIME:-5x}"
+mkdir -p "$outdir"
+
+echo "== profiling BenchmarkMultiTenant100 (${benchtime}) =="
+go test -run '^$' -bench '^BenchmarkMultiTenant100$' -benchtime "$benchtime" \
+  -cpuprofile "$outdir/cpu.out" -memprofile "$outdir/mem.out" .
+
+echo "== profiling a 200-tenant combine run (pprof-labelled) =="
+go run ./cmd/combine -tenants 200 -arrival-rate 5 -iters 4 \
+  -perf -perf-out "$outdir/perf.json" \
+  -cpuprofile "$outdir/combine_cpu.out" -memprofile "$outdir/combine_mem.out" \
+  > "$outdir/combine_perf.txt"
+
+go run ./cmd/simscope perf -csv "$outdir/perf.csv" "$outdir/perf.json"
+
+echo "wrote:"
+ls -l "$outdir"
+echo "inspect: go tool pprof -tags $outdir/combine_cpu.out"
