@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// AllocBudget enforces declared heap-allocation budgets against the
+// compiler's own escape analysis. Every //lint:hotpath function must carry a
+//
+//	//lint:allocbudget <N> <reason>
+//
+// annotation, where N is the number of heap-escape sites the compiler is
+// allowed to prove inside the function (escape.go's fact pipeline). Budgets
+// are exact, not upper bounds: a function with fewer sites than its budget
+// is also a diagnostic, so an optimisation that removes an allocation must
+// lower the budget in the same change — the improvement is locked in through
+// the lint, not just observed in a benchmark. Each over-budget site is
+// reported individually with the escaping expression and the compiler's
+// escape reason.
+//
+// When no escape facts are available (analyzers running under the golden-test
+// loader, which does not compile), only annotation presence and syntax are
+// checked.
+var AllocBudget = &Analyzer{
+	Name: "allocbudget",
+	Doc: "enforce //lint:allocbudget <N> <reason> heap-escape budgets on //lint:hotpath functions " +
+		"against the compiler's escape analysis (-gcflags=" + EscapeGCFlags + "); " +
+		"over-budget and under-budget counts are both violations",
+	Run: runAllocBudget,
+}
+
+func runAllocBudget(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkBudget(pass, fd)
+		}
+	}
+}
+
+// parseBudget splits an allocbudget directive's argument into the numeric
+// budget and its justification. ok is false when either is missing.
+func parseBudget(d directive) (n int, reason string, ok bool) {
+	num, rest, _ := strings.Cut(d.reason, " ")
+	n, err := strconv.Atoi(num)
+	rest = strings.TrimSpace(rest)
+	if err != nil || n < 0 || rest == "" {
+		return 0, "", false
+	}
+	return n, rest, true
+}
+
+func checkBudget(pass *Pass, fd *ast.FuncDecl) {
+	budgets := pass.funcDirectives("allocbudget", fd)
+	hot := pass.funcAnnotated("hotpath", fd)
+	if len(budgets) == 0 {
+		if hot {
+			pass.Reportf(fd.Pos(),
+				"//lint:hotpath function %s has no allocation budget; declare //lint:allocbudget <N> <reason> (seed N from the committed bench baseline)",
+				funcKey(fd))
+		}
+		return
+	}
+	if len(budgets) > 1 {
+		pass.Reportf(budgets[1].pos, "duplicate //lint:allocbudget on %s", funcKey(fd))
+		return
+	}
+	budget, _, ok := parseBudget(budgets[0])
+	if !ok {
+		pass.Reportf(budgets[0].pos,
+			"malformed //lint:allocbudget on %s: want //lint:allocbudget <N> <reason>, got %q",
+			funcKey(fd), budgets[0].reason)
+		return
+	}
+	if !pass.HasEscapeFacts {
+		return // no compiler facts to check the arithmetic against
+	}
+
+	facts := pass.factsWithin(fd)
+	switch {
+	case len(facts) > budget:
+		pass.Reportf(fd.Pos(),
+			"%s exceeds its allocation budget: %d heap-escape site(s), budget %d; remove the allocation or raise the budget with a reason",
+			funcKey(fd), len(facts), budget)
+		for _, fact := range facts {
+			pass.Reportf(factPos(pass, fd, fact),
+				"heap-escape site in budgeted function %s: %s escapes to heap (%s)",
+				funcKey(fd), fact.Expr, fact.Reason)
+		}
+	case len(facts) < budget:
+		pass.Reportf(fd.Pos(),
+			"%s is under its allocation budget: %d heap-escape site(s) < budget %d; lower the budget so the improvement is locked in",
+			funcKey(fd), len(facts), budget)
+	}
+}
+
+// factsWithin returns the escape facts positioned inside fd's declaration,
+// in source order (the fact pipeline preserves compiler output order, which
+// is positional within one function).
+func (p *Pass) factsWithin(fd *ast.FuncDecl) []EscapeFact {
+	start := p.Fset.Position(fd.Pos())
+	end := p.Fset.Position(fd.End())
+	file := absPath(start.Filename)
+	var out []EscapeFact
+	for _, fact := range p.Escapes[file] {
+		if fact.Pos.Line < start.Line || fact.Pos.Line > end.Line {
+			continue
+		}
+		if fact.Pos.Line == start.Line && fact.Pos.Column < start.Column {
+			continue
+		}
+		if fact.Pos.Line == end.Line && fact.Pos.Column >= end.Column {
+			continue
+		}
+		out = append(out, fact)
+	}
+	return out
+}
+
+// factPos maps a fact's file:line back onto a token.Pos inside fd so the
+// diagnostic is position-sorted and clickable like every other one. The
+// match is by line start; the diagnostic message carries the exact
+// expression.
+func factPos(pass *Pass, fd *ast.FuncDecl, fact EscapeFact) token.Pos {
+	tf := pass.Fset.File(fd.Pos())
+	if tf == nil || fact.Pos.Line < 1 || fact.Pos.Line > tf.LineCount() {
+		return fd.Pos()
+	}
+	return tf.LineStart(fact.Pos.Line)
+}
+
+// absPath canonicalizes a loader filename for fact lookup. Loader paths are
+// already absolute for real runs; the golden-test loader uses repo-relative
+// paths, which resolve against the test's working directory.
+func absPath(name string) string {
+	abs, err := filepath.Abs(name)
+	if err != nil {
+		return name
+	}
+	return abs
+}

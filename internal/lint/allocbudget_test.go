@@ -1,0 +1,88 @@
+package lint
+
+// Golden tests for the allocbudget analyzer. The testdata package carries its
+// own go.mod, so it really compiles: loadCompiled runs the escape-fact
+// pipeline (go build -gcflags='...=-m=2') over it and the want expectations
+// assert against the compiler's actual escape analysis.
+
+import (
+	"path/filepath"
+	"slices"
+	"testing"
+)
+
+// loadCompiled loads testdata/src/<path> through the golden-test loader and
+// attaches real compiler escape facts for it. The testdata package must be a
+// module root (its own go.mod) so `go build` accepts it; path doubles as the
+// module path and therefore as the -gcflags target pattern.
+func loadCompiled(t *testing.T, path string) *Package {
+	t.Helper()
+	l := newTestLoader(t)
+	pkg, err := l.load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := escapeFacts(dir, path, []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.Escapes = facts
+	pkg.HasEscapeFacts = true
+	return pkg
+}
+
+func TestAllocBudget(t *testing.T) {
+	pkg := loadCompiled(t, "allocbudget")
+	diags := Run([]*Package{pkg}, []*Analyzer{AllocBudget})
+	checkDiags(t, diags, expectations(t, pkg))
+}
+
+// TestAllocBudgetWithoutFacts runs the same testdata through the plain
+// (non-compiling) loader: annotation presence and syntax are still enforced,
+// budget arithmetic is not.
+func TestAllocBudgetWithoutFacts(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.load("allocbudget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{AllocBudget})
+	for _, d := range diags {
+		if d.Pos.Line == 0 {
+			t.Errorf("diagnostic without a position: %s", d)
+		}
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message[:min(40, len(d.Message))])
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want exactly the missing-budget and malformed diagnostics without facts, got %d: %q", len(diags), got)
+	}
+}
+
+// TestAllocBudgetOrderingStable proves the rendered diagnostics are
+// byte-identical whichever order the loader hands packages over in — `go
+// list` output order is not contractual, and CI diffs lint output.
+func TestAllocBudgetOrderingStable(t *testing.T) {
+	render := func(pkgs []*Package) []string {
+		var out []string
+		for _, d := range Run(pkgs, []*Analyzer{AllocBudget}) {
+			out = append(out, d.String())
+		}
+		return out
+	}
+	// Fresh loaders per ordering so no FileSet state carries over.
+	forward := render([]*Package{loadCompiled(t, "allocbudget"), loadCompiled(t, "allocorder")})
+	reverse := render([]*Package{loadCompiled(t, "allocorder"), loadCompiled(t, "allocbudget")})
+	if !slices.Equal(forward, reverse) {
+		t.Errorf("diagnostics depend on package load order:\nforward: %q\nreverse: %q", forward, reverse)
+	}
+	if len(forward) == 0 {
+		t.Fatal("ordering test has no diagnostics to compare; testdata lost its violations")
+	}
+}

@@ -4,11 +4,15 @@ package lint
 // requires a justification.
 var knownDirectives = map[string]bool{
 	"hotpath":          false, // annotation, not a waiver
+	"allocbudget":      true,  // annotation with arguments: <N> <reason> (allocbudget validates the shape)
+	"singlewriter":     true,  // annotation with argument: <domain> (singlewriter validates it)
 	"allow-walltime":   true,
 	"allow-globalrand": true,
 	"allow-maprange":   true,
 	"allow-unguarded":  true,
 	"allow-alloc":      true,
+	"allow-concurrent": true,
+	"allow-pool":       true,
 }
 
 // Directives validates the lint directives themselves: every //lint: comment

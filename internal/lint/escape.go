@@ -1,0 +1,150 @@
+package lint
+
+// The compiler-fact pipeline behind the allocbudget analyzer: run the Go
+// compiler's escape analysis (`go build -gcflags='<pkgs>=-m=2'`) over the
+// packages under lint and parse its diagnostics into per-position heap-escape
+// facts. The analyzer then checks the facts against declared budgets instead
+// of pattern-matching "allocation-prone constructs" — the compiler is the
+// ground truth for what actually reaches the heap.
+//
+// Since Go 1.21 the build cache stores and replays compiler diagnostics, so
+// after the first compile a fact run costs roughly a cache lookup. The cache
+// keys on toolchain version and -gcflags, which is also why any *external*
+// cache of these facts (the CI actions/cache around the go build cache) must
+// include both — see scripts/lint.sh and the simlint CI job.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// EscapeGCFlags is the compiler flag set the fact pipeline compiles with.
+// -m=2 prints every escape decision together with the flow chain that forced
+// it, which becomes the "compiler's escape reason" in diagnostics.
+const EscapeGCFlags = "-m=2"
+
+// An EscapeFact is one heap allocation the compiler proved: an expression
+// that escapes to the heap or a variable moved there. Positions use absolute
+// file paths so facts can be matched against any loader's FileSet.
+type EscapeFact struct {
+	Pos    token.Position
+	Expr   string // the escaping expression, e.g. "&event{...}"
+	Reason string // the decisive flow step, e.g. "heap.Push(q, ev) (call parameter)"
+}
+
+func (f EscapeFact) String() string {
+	return fmt.Sprintf("%s: %s escapes to heap (%s)", f.Pos, f.Expr, f.Reason)
+}
+
+// diagLineRE matches one compiler diagnostic line: "file.go:line:col: msg".
+var diagLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// fromLineRE extracts the decisive step of an -m=2 flow chain:
+// "    from heap.Push(q, ev) (call parameter) at file.go:216:15".
+var fromLineRE = regexp.MustCompile(`^\s*from (.*) at \S+$`)
+
+// escapeFacts compiles the given package patterns in dir with escape-analysis
+// diagnostics enabled and returns the parsed facts grouped by absolute file
+// path. gcTarget is the package pattern the -gcflags apply to (the module
+// path followed by /... for real runs, the literal pattern for tests).
+func escapeFacts(dir, gcTarget string, patterns []string) (map[string][]EscapeFact, error) {
+	args := []string{"build", "-gcflags=" + gcTarget + "=" + EscapeGCFlags}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	return parseEscapeDiagnostics(dir, &stderr)
+}
+
+// parseEscapeDiagnostics folds the compiler's -m=2 output into deduplicated
+// facts. The output interleaves, per escape site: one headline
+// ("expr escapes to heap:" / "moved to heap: v"), indented flow lines
+// explaining it, and — because -m=2 also prints the -m=1 summary — a second
+// headline without the trailing colon. Facts are deduplicated by position,
+// keeping the first (detailed) record.
+func parseEscapeDiagnostics(dir string, r *bytes.Buffer) (map[string][]EscapeFact, error) {
+	facts := make(map[string][]EscapeFact)
+	seen := make(map[string]bool) // "file:line:col" -> already recorded
+	var cur *EscapeFact           // fact whose flow lines are being read
+
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		key := fmt.Sprintf("%s:%d:%d", cur.Pos.Filename, cur.Pos.Line, cur.Pos.Column)
+		if !seen[key] {
+			seen[key] = true
+			facts[cur.Pos.Filename] = append(facts[cur.Pos.Filename], *cur)
+		}
+		cur = nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := diagLineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			flush()
+			continue
+		}
+		msg := m[4]
+		if strings.HasPrefix(msg, " ") || strings.HasPrefix(msg, "\t") {
+			// Indented flow detail for the current fact. The decisive step is
+			// the last "from ... at ..." line of the chain that reaches the
+			// heap; keep overwriting so the final one wins.
+			if cur != nil {
+				if fm := fromLineRE.FindStringSubmatch(msg); fm != nil {
+					cur.Reason = fm[1]
+				}
+			}
+			continue
+		}
+		flush()
+		expr, ok := escapeHeadline(msg)
+		if !ok {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		cur = &EscapeFact{
+			Pos:    token.Position{Filename: file, Line: line, Column: col},
+			Expr:   expr,
+			Reason: "escapes to heap",
+		}
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: reading escape diagnostics: %v", err)
+	}
+	return facts, nil
+}
+
+// escapeHeadline extracts the escaping expression from a headline diagnostic,
+// or reports that the line is not an allocation fact (inlining decisions,
+// "does not escape", parameter leak summaries, ...).
+func escapeHeadline(msg string) (string, bool) {
+	if v, ok := strings.CutPrefix(msg, "moved to heap: "); ok {
+		return v + " (moved to heap)", true
+	}
+	for _, suffix := range []string{" escapes to heap:", " escapes to heap"} {
+		if expr, ok := strings.CutSuffix(msg, suffix); ok {
+			return expr, true
+		}
+	}
+	return "", false
+}

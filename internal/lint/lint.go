@@ -20,12 +20,16 @@
 //
 // Violations are silenced in place with lint directives:
 //
-//	//lint:allow-walltime <reason>   (simclock)
-//	//lint:allow-globalrand <reason> (seededrand)
-//	//lint:allow-maprange <reason>   (detrange)
-//	//lint:allow-unguarded <reason>  (telemetryguard)
-//	//lint:allow-alloc <reason>      (hotpath)
-//	//lint:hotpath                   (marks a function as a checked hot path)
+//	//lint:allow-walltime <reason>    (simclock)
+//	//lint:allow-globalrand <reason>  (seededrand)
+//	//lint:allow-maprange <reason>    (detrange)
+//	//lint:allow-unguarded <reason>   (telemetryguard)
+//	//lint:allow-alloc <reason>       (hotpath)
+//	//lint:allow-concurrent <reason>  (singlewriter)
+//	//lint:allow-pool <reason>        (poolhygiene)
+//	//lint:hotpath                    (marks a function as a checked hot path)
+//	//lint:allocbudget <N> <reason>   (declares a heap-escape budget, allocbudget)
+//	//lint:singlewriter <domain>      (declares the owning dispatch loop of a domain)
 //
 // An allow directive applies to the line it trails or the line directly
 // below it, and the reason is mandatory: the Directives analyzer rejects
@@ -76,6 +80,15 @@ type Package struct {
 	// detrange uses it to decide whether a call inside a map-range body can
 	// touch simulation state.
 	LocalPrefixes []string
+
+	// Escapes holds the compiler's heap-escape facts for this package's
+	// files, keyed by absolute file path (see escape.go). HasEscapeFacts
+	// distinguishes "the fact pipeline ran and found nothing" from "no facts
+	// were computed" (the golden-test loader for analyzers that do not need
+	// them): allocbudget only enforces budget arithmetic in the former case,
+	// so the other analyzers' tests are not forced to compile their testdata.
+	Escapes        map[string][]EscapeFact
+	HasEscapeFacts bool
 
 	directives []directive
 }
@@ -158,18 +171,27 @@ func (p *Pass) Allowed(name string, pos token.Pos) bool {
 // funcAnnotated reports whether fn carries a //lint:<name> directive in its
 // doc block or on the line directly above the declaration.
 func (p *Pass) funcAnnotated(name string, fn *ast.FuncDecl) bool {
+	return len(p.funcDirectives(name, fn)) > 0
+}
+
+// funcDirectives returns every //lint:<name> directive attached to fn (in its
+// doc block or on the line directly above the declaration). Directives carry
+// arguments — a budget, a domain name — so annotation-consuming analyzers
+// need the parsed records, not just a yes/no.
+func (p *Pass) funcDirectives(name string, fn *ast.FuncDecl) []directive {
 	declLine := p.Fset.Position(fn.Pos()).Line
 	file := p.Fset.Position(fn.Pos()).Filename
 	docLine := declLine - 1
 	if fn.Doc != nil {
 		docLine = p.Fset.Position(fn.Doc.Pos()).Line
 	}
+	var out []directive
 	for _, d := range p.directives {
 		if d.name == name && d.file == file && d.line >= docLine-1 && d.line < declLine {
-			return true
+			out = append(out, d)
 		}
 	}
-	return false
+	return out
 }
 
 // isLocal reports whether a package path belongs to the analyzed codebase.
@@ -267,7 +289,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// All returns the full simlint suite in a fixed order.
+// All returns the full simlint suite in a fixed order. Every *Analyzer
+// declared in this package must be listed here — TestAllAnalyzersRegistered
+// parses the package source and fails on any that is not, so a new analyzer
+// cannot be written and then silently left out of cmd/simlint.
 func All() []*Analyzer {
 	return []*Analyzer{
 		SimClock,
@@ -275,6 +300,9 @@ func All() []*Analyzer {
 		DetRange,
 		TelemetryGuard,
 		HotPath,
+		AllocBudget,
+		SingleWriter,
+		PoolHygiene,
 		Directives,
 	}
 }

@@ -82,6 +82,23 @@ func Load(patterns []string) ([]*Package, error) {
 		return os.Open(file)
 	})
 
+	// Compiler-fact pipeline: compile the main module with escape-analysis
+	// diagnostics and fold them into per-file heap-escape facts for the
+	// allocbudget analyzer. The build cache replays diagnostics, so after the
+	// first compile this costs a cache lookup. Relative paths in the output
+	// resolve against the working directory, same as the go list run above.
+	var escapes map[string][]EscapeFact
+	if len(targets) > 0 {
+		cwd, err := os.Getwd()
+		if err != nil {
+			return nil, fmt.Errorf("lint: getwd: %v", err)
+		}
+		escapes, err = escapeFacts(cwd, targets[0].Module.Path+"/...", patterns)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var pkgs []*Package
 	for _, lp := range targets {
 		var files []*ast.File
@@ -98,13 +115,22 @@ func Load(patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, err)
 		}
+		pkgEscapes := make(map[string][]EscapeFact)
+		for _, name := range lp.GoFiles {
+			abs := filepath.Join(lp.Dir, name)
+			if fs := escapes[abs]; fs != nil {
+				pkgEscapes[abs] = fs
+			}
+		}
 		pkgs = append(pkgs, &Package{
-			Path:          lp.ImportPath,
-			Fset:          fset,
-			Files:         files,
-			Types:         tpkg,
-			Info:          info,
-			LocalPrefixes: []string{lp.Module.Path},
+			Path:           lp.ImportPath,
+			Fset:           fset,
+			Files:          files,
+			Types:          tpkg,
+			Info:           info,
+			LocalPrefixes:  []string{lp.Module.Path},
+			Escapes:        pkgEscapes,
+			HasEscapeFacts: true,
 		})
 	}
 	return pkgs, nil

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolHygiene checks sync.Pool discipline ahead of the buffer-pooling work:
+// a pooled value obtained with Get must be handed back with Put on every
+// return path, must not leave the function (returned, stored in a struct
+// field, a composite literal, or a package-level variable — pooled buffers
+// retained by long-lived structs defeat the pool and alias recycled memory),
+// and a Get whose result is not bound to a variable cannot be audited at all.
+//
+// The return-path check is lexical, not a full CFG: a return statement after
+// the Get with no Put (and no deferred Put) textually before it is reported.
+// That catches the classic early-error-return leak; a Put hidden in an
+// earlier branch can fool it, which is the usual precision trade for a
+// syntax-level linter. Intentional cross-function hand-offs (Get here, Put
+// in the consumer) are waived with //lint:allow-pool <reason>.
+var PoolHygiene = &Analyzer{
+	Name: "poolhygiene",
+	Doc: "verify sync.Pool usage: Put on all return paths, no escaping or struct-retained " +
+		"pooled values (waive with //lint:allow-pool)",
+	Run: runPoolHygiene,
+}
+
+func runPoolHygiene(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPoolScope(pass, fd.Body)
+			}
+		}
+	}
+}
+
+// isPoolMethod reports whether call invokes (*sync.Pool).<name>.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := callee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == name &&
+		fn.Type().(*types.Signature).Recv() != nil
+}
+
+// poolGetVar unwraps `v := pool.Get()` / `v := pool.Get().(*T)` and returns
+// the bound variable and the Get call, if stmt is such an assignment.
+func poolGetVar(info *types.Info, stmt ast.Stmt) (*ast.Ident, types.Object, *ast.CallExpr) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil, nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, nil, nil
+	}
+	rhs := ast.Unparen(as.Rhs[0])
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ast.Unparen(ta.X)
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || !isPoolMethod(info, call, "Get") {
+		return nil, nil, nil
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	return id, obj, call
+}
+
+// checkPoolScope audits one function body. Nested function literals are
+// separate scopes: their returns and Gets are audited independently, so a
+// closure's early return cannot satisfy (or indict) the enclosing function.
+func checkPoolScope(pass *Pass, body *ast.BlockStmt) {
+	// Recurse into literals first, then audit this scope with literal
+	// subtrees masked out.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkPoolScope(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+
+	// Pass 1: find every Get in this scope.
+	type pooled struct {
+		obj    types.Object
+		get    *ast.CallExpr
+		puts   []token.Pos // non-deferred Put positions
+		defers bool        // a deferred Put covers every return
+	}
+	var gets []*pooled
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literal scopes audited separately
+		}
+		if stmt, ok := n.(ast.Stmt); ok {
+			if _, obj, call := poolGetVar(pass.Info, stmt); call != nil {
+				gets = append(gets, &pooled{obj: obj, get: call})
+				return true
+			}
+		}
+		// A Get that is not the RHS of a simple assignment: the value can
+		// never be matched to a Put.
+		if call, ok := n.(*ast.CallExpr); ok && isPoolMethod(pass.Info, call, "Get") {
+			if !partOfGetAssign(pass.Info, body, call) && !pass.Allowed("allow-pool", call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"sync.Pool.Get result is not bound to a variable; its Put cannot be verified (bind it, or waive with //lint:allow-pool <reason>)")
+			}
+		}
+		return true
+	})
+	if len(gets) == 0 {
+		return
+	}
+
+	// Pass 2: collect Puts, escapes and retention for each pooled variable.
+	usesVar := func(e ast.Expr, obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !pass.Allowed("allow-pool", pos) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	var returns []*ast.ReturnStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // literal scopes audited separately
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		case *ast.DeferStmt:
+			if isPoolMethod(pass.Info, n.Call, "Put") {
+				for _, arg := range n.Call.Args {
+					for _, p := range gets {
+						if usesVar(arg, p.obj) {
+							p.defers = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isPoolMethod(pass.Info, n, "Put") {
+				for _, arg := range n.Args {
+					for _, p := range gets {
+						if usesVar(arg, p.obj) {
+							p.puts = append(p.puts, n.Pos())
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				for _, p := range gets {
+					if !usesVar(n.Rhs[i], p.obj) {
+						continue
+					}
+					switch l := lhs.(type) {
+					case *ast.SelectorExpr:
+						report(n.Pos(),
+							"pooled value %s is retained in a struct field; a long-lived holder defeats the pool and aliases recycled memory (waive with //lint:allow-pool <reason>)",
+							p.obj.Name())
+					case *ast.Ident:
+						if obj := pass.Info.Uses[l]; obj != nil && obj.Parent() == pass.Types.Scope() {
+							report(n.Pos(),
+								"pooled value %s is stored in package-level variable %s; it escapes its Get/Put scope (waive with //lint:allow-pool <reason>)",
+								p.obj.Name(), l.Name)
+						}
+					}
+				}
+			}
+		case *ast.KeyValueExpr:
+			for _, p := range gets {
+				if usesVar(n.Value, p.obj) && n.Pos() > p.get.Pos() {
+					report(n.Pos(),
+						"pooled value %s is stored in a composite literal; if the literal outlives this call the buffer is retained while recycled (waive with //lint:allow-pool <reason>)",
+						p.obj.Name())
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: per-variable verdicts.
+	for _, p := range gets {
+		if p.obj == nil || p.defers {
+			continue
+		}
+		// Returned pooled value: escapes the function without Put.
+		escaped := false
+		for _, ret := range returns {
+			for _, res := range ret.Results {
+				if usesVar(res, p.obj) {
+					report(ret.Pos(),
+						"pooled value %s is returned without a Put; the caller now owns recycled memory (waive with //lint:allow-pool <reason>)",
+						p.obj.Name())
+					escaped = true
+				}
+			}
+		}
+		if escaped {
+			continue
+		}
+		if len(p.puts) == 0 {
+			report(p.get.Pos(),
+				"pooled value %s is never Put back; every Get needs a matching Put or a waiver (//lint:allow-pool <reason>)",
+				p.obj.Name())
+			continue
+		}
+		// Lexical return-path audit: a return after the Get with no Put
+		// before it leaks the value on that path.
+		for _, ret := range returns {
+			if ret.Pos() < p.get.Pos() {
+				continue
+			}
+			covered := false
+			for _, put := range p.puts {
+				if put < ret.Pos() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				report(ret.Pos(),
+					"return path drops pooled value %s without a Put (waive with //lint:allow-pool <reason>)",
+					p.obj.Name())
+			}
+		}
+	}
+}
+
+// partOfGetAssign reports whether call is the (possibly type-asserted) RHS of
+// a simple `v := pool.Get()` assignment somewhere in body.
+func partOfGetAssign(info *types.Info, body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if stmt, ok := n.(ast.Stmt); ok {
+			if _, _, c := poolGetVar(info, stmt); c == call {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

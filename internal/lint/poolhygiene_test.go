@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestPoolHygiene(t *testing.T) {
+	runTest(t, PoolHygiene, "poolhygiene")
+}

@@ -169,8 +169,13 @@ func runTest(t *testing.T, a *Analyzer, path string) {
 		t.Fatal(err)
 	}
 	diags := Run([]*Package{pkg}, []*Analyzer{a})
-	wants := expectations(t, pkg)
+	checkDiags(t, diags, expectations(t, pkg))
+}
 
+// checkDiags matches diagnostics against want expectations one-to-one:
+// unmatched expectations and unexpected diagnostics both fail the test.
+func checkDiags(t *testing.T, diags []Diagnostic, wants []expectation) {
+	t.Helper()
 	matched := make([]bool, len(diags))
 	for _, w := range wants {
 		found := false

@@ -1,0 +1,496 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A FuncRef names one function: the package import path plus the funcKey
+// rendering ("Name", "T.Name", "(*T).Name").
+type FuncRef struct {
+	Pkg  string
+	Func string
+}
+
+// A WriterDomain is one single-writer contract: a set of state accessors
+// that must only execute inside the ownership domain of one dispatch loop.
+// The loop declares ownership in source with //lint:singlewriter <domain>;
+// the registry below says which function that must be, so deleting the
+// annotation (or the loop) is itself a violation.
+type WriterDomain struct {
+	// Owner is the dispatch loop that owns the domain. Calls made
+	// synchronously from it (and from the code it calls) are inside the
+	// domain; reachability analysis stops at the owner.
+	Owner FuncRef
+	// State maps package path -> funcKeys of the functions that read or
+	// mutate the domain's single-writer state. Registered state functions
+	// are the sanctioned surface: they may be exported (processes running
+	// under the dispatch loop call them), but they must never be reached
+	// from goroutine-spawned code.
+	State map[string][]string
+}
+
+// WriterDomains registers the repository's single-writer contracts. Like
+// HotPathRequired, the registry is part of the contract: moving or renaming
+// an owner or state function fails the lint until the registry is updated.
+//
+//   - region-clock: obs.Recorder's cur/lastNs region accounting. Written by
+//     the kernel dispatch loop and by Proc.Enter/ExitRegion, which only run
+//     while their process holds simulator control. The obs progress
+//     heartbeat goroutine must stay on the atomic snapshot path.
+//   - tenant-register: Kernel.tenant, written in resume/dispatch handoffs
+//     and read by shared-model layers via CurrentTenant. A read from another
+//     goroutine would race the dispatch loop's writes.
+//   - kernel-mailbox: the mailbox priority queue and waiter list, mutated by
+//     Send/Recv under cooperative scheduling only.
+var WriterDomains = map[string]WriterDomain{
+	"region-clock": {
+		Owner: FuncRef{"wadc/internal/sim", "(*Kernel).RunUntil"},
+		State: map[string][]string{
+			"wadc/internal/obs": {"(*Recorder).SwitchTo", "(*Recorder).Current", "(*Recorder).Report"},
+			"wadc/internal/sim": {"(*Proc).EnterRegion", "(*Proc).ExitRegion"},
+		},
+	},
+	"tenant-register": {
+		Owner: FuncRef{"wadc/internal/sim", "(*Kernel).RunUntil"},
+		State: map[string][]string{
+			"wadc/internal/sim": {"(*Kernel).CurrentTenant", "(*Kernel).resume"},
+		},
+	},
+	"kernel-mailbox": {
+		Owner: FuncRef{"wadc/internal/sim", "(*Kernel).RunUntil"},
+		State: map[string][]string{
+			"wadc/internal/sim": {"(*Mailbox).Send", "(*Mailbox).Recv"},
+		},
+	},
+}
+
+// SingleWriter statically verifies the single-writer contracts in
+// WriterDomains:
+//
+//   - the registered owner of every domain exists and carries the
+//     //lint:singlewriter <domain> annotation (and no other function does);
+//   - no `go` statement — direct call, captured closure, or closure passed
+//     into the spawned call — can reach a domain's state functions: a
+//     spawned goroutine is by definition outside the dispatch loop's
+//     ownership domain;
+//   - the owner itself spawns no goroutines (the loop must not fork its own
+//     domain);
+//   - in the package that declares a domain's state, no *exported* function
+//     outside the contract surface (owner, registered state) can reach that
+//     state — a new public entry point into single-writer internals must be
+//     registered deliberately, not added by accident.
+//
+// Call-graph reachability is package-local plus direct cross-package calls
+// to registered state functions, and stops at the owner (calling the
+// dispatch loop is entering the domain, not escaping it). Per-instance
+// ownership the analysis cannot see (e.g. a sweep worker that owns its own
+// cell-local recorder) is waived with //lint:allow-concurrent <reason>.
+var SingleWriter = &Analyzer{
+	Name: "singlewriter",
+	Doc: "verify //lint:singlewriter ownership domains: no goroutine-spawned or unregistered " +
+		"exported call path may reach single-writer state (waive with //lint:allow-concurrent)",
+	Run: runSingleWriter,
+}
+
+// stateDomain returns the domain a function belongs to as registered state,
+// or "".
+func stateDomain(pkg, key string) string {
+	// Map iteration over WriterDomains is order-bearing only for which
+	// domain name is reported when a function is registered in several; sort
+	// for deterministic diagnostics.
+	names := make([]string, 0, len(WriterDomains))
+	for name := range WriterDomains {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, k := range WriterDomains[name].State[pkg] {
+			if k == key {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// swNode is one function-shaped thing — a declaration or a function literal —
+// in the package-local call graph.
+type swNode struct {
+	key   string        // funcKey for decls, "" for literals
+	fd    *ast.FuncDecl // nil for literals
+	body  *ast.BlockStmt
+	calls []*ast.CallExpr // every call in body, nested literals included
+	gos   []*ast.GoStmt   // every go statement in body
+}
+
+func runSingleWriter(pass *Pass) {
+	// Which domains does this package own? Sorted so diagnostics are emitted
+	// deterministically regardless of registry map order.
+	ownedHere := make(map[string]string) // domain -> owner funcKey
+	var ownedNames []string
+	for name := range WriterDomains {
+		ownedNames = append(ownedNames, name)
+	}
+	sort.Strings(ownedNames)
+	ownedNames = func() []string {
+		var out []string
+		for _, name := range ownedNames {
+			if WriterDomains[name].Owner.Pkg == pass.Path {
+				ownedHere[name] = WriterDomains[name].Owner.Func
+				out = append(out, name)
+			}
+		}
+		return out
+	}()
+
+	// Collect declaration nodes and per-declaration literal maps.
+	decls := make(map[string]*swNode)
+	var nodes []*swNode
+	// varLits resolves `name := func(){...}` so `go name()` taints the
+	// literal the variable holds.
+	varLits := make(map[types.Object]*ast.FuncLit)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			n := &swNode{key: funcKey(fd), fd: fd, body: fd.Body}
+			collectCalls(n)
+			decls[n.key] = n
+			nodes = append(nodes, n)
+			collectVarLits(pass, fd.Body, varLits)
+		}
+	}
+
+	checkOwnerAnnotations(pass, ownedHere, ownedNames)
+
+	// The owner must not fork its own domain.
+	for _, domain := range ownedNames {
+		key := ownedHere[domain]
+		if n := decls[key]; n != nil {
+			for _, g := range n.gos {
+				if pass.Allowed("allow-concurrent", g.Pos()) {
+					continue
+				}
+				pass.Reportf(g.Pos(),
+					"the //lint:singlewriter %s dispatch loop %s spawns a goroutine; the loop must not fork its own ownership domain (waive with //lint:allow-concurrent <reason>)",
+					domain, key)
+			}
+		}
+	}
+
+	// Goroutine taint: every function-shaped thing a `go` statement can
+	// start, plus everything locally reachable from it (stopping at owners),
+	// must not touch registered state.
+	tainted := make(map[*swNode]bool)
+	var taintedList []*swNode // insertion order, for deterministic reporting
+	var taint func(n *swNode)
+	taint = func(n *swNode) {
+		if n == nil || tainted[n] {
+			return
+		}
+		if n.fd != nil && isOwnerKey(pass.Path, n.key) {
+			return // entering the dispatch loop is entering the domain
+		}
+		tainted[n] = true
+		taintedList = append(taintedList, n)
+		for _, call := range n.calls {
+			if fn := callee(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pass.Path {
+				taint(decls[typeFuncKey(fn)])
+			}
+		}
+	}
+	for _, n := range nodes {
+		for _, g := range n.gos {
+			for _, root := range goRoots(pass, g, decls, varLits) {
+				taint(root)
+			}
+		}
+	}
+	for _, n := range taintedList {
+		reportStateCalls(pass, n, "goroutine-spawned code")
+	}
+
+	checkExportedPaths(pass, nodes, decls, tainted)
+}
+
+// isOwnerKey reports whether pkg/key is the registered owner of any domain.
+func isOwnerKey(pkg, key string) bool {
+	for _, wd := range WriterDomains {
+		if wd.Owner.Pkg == pkg && wd.Owner.Func == key {
+			return true
+		}
+	}
+	return false
+}
+
+// collectCalls fills n.calls and n.gos from its body, including nested
+// function literals: a closure defined inside goroutine-spawned code runs
+// (or can run) on that goroutine, so its calls are part of the node.
+func collectCalls(n *swNode) {
+	ast.Inspect(n.body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			n.calls = append(n.calls, x)
+		case *ast.GoStmt:
+			n.gos = append(n.gos, x)
+		}
+		return true
+	})
+}
+
+// collectVarLits records `v := func(){...}` / `var v = func(){...}`
+// assignments so goRoots can resolve `go v()`.
+func collectVarLits(pass *Pass, body *ast.BlockStmt, out map[types.Object]*ast.FuncLit) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if lit, ok := ast.Unparen(x.Rhs[i]).(*ast.FuncLit); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						out[obj] = lit
+					} else if obj := pass.Info.Uses[id]; obj != nil {
+						out[obj] = lit
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range x.Names {
+				if i >= len(x.Values) {
+					break
+				}
+				if lit, ok := ast.Unparen(x.Values[i]).(*ast.FuncLit); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						out[obj] = lit
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// goRoots resolves the function-shaped things a `go` statement can start:
+// the spawned callee (literal, local declaration, or literal-holding
+// variable) and any function literals passed to it as arguments.
+func goRoots(pass *Pass, g *ast.GoStmt, decls map[string]*swNode, varLits map[types.Object]*ast.FuncLit) []*swNode {
+	var roots []*swNode
+	addLit := func(lit *ast.FuncLit) {
+		n := &swNode{body: lit.Body}
+		collectCalls(n)
+		roots = append(roots, n)
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		addLit(fun)
+	default:
+		if fn := callee(pass.Info, g.Call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pass.Path {
+			if n := decls[typeFuncKey(fn)]; n != nil {
+				roots = append(roots, n)
+			}
+		} else if id, ok := fun.(*ast.Ident); ok {
+			if lit := varLits[pass.Info.Uses[id]]; lit != nil {
+				addLit(lit)
+			}
+		}
+	}
+	for _, arg := range g.Call.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			addLit(lit)
+		}
+	}
+	return roots
+}
+
+// reportStateCalls flags every call in n that resolves to registered
+// single-writer state.
+func reportStateCalls(pass *Pass, n *swNode, how string) {
+	for _, call := range n.calls {
+		fn := callee(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			continue
+		}
+		domain := stateDomain(fn.Pkg().Path(), typeFuncKey(fn))
+		if domain == "" {
+			continue
+		}
+		if pass.Allowed("allow-concurrent", call.Pos()) {
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"call to %s.%s from %s: it is single-writer state of domain %q and must only run inside the %s dispatch loop (waive with //lint:allow-concurrent <reason>)",
+			fn.Pkg().Path(), typeFuncKey(fn), how, domain, WriterDomains[domain].Owner.Func)
+	}
+}
+
+// checkOwnerAnnotations enforces the annotation side of the contract: the
+// registered owner exists and is annotated, every //lint:singlewriter names
+// a known domain, and only the registered owner carries it.
+func checkOwnerAnnotations(pass *Pass, ownedHere map[string]string, domains []string) {
+	annotated := make(map[string]map[string]bool) // funcKey -> domains annotated on it
+	var declPos func(key string) (token.Pos, bool)
+	declByKey := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				declByKey[funcKey(fd)] = fd
+				for _, d := range pass.funcDirectives("singlewriter", fd) {
+					m := annotated[funcKey(fd)]
+					if m == nil {
+						m = make(map[string]bool)
+						annotated[funcKey(fd)] = m
+					}
+					m[d.reason] = true
+					wd, known := WriterDomains[d.reason]
+					switch {
+					case d.reason == "":
+						pass.Reportf(d.pos, "//lint:singlewriter requires a domain: //lint:singlewriter <domain>")
+					case !known:
+						pass.Reportf(d.pos, "unknown single-writer domain %q; register it in lint.WriterDomains", d.reason)
+					case wd.Owner.Pkg != pass.Path || wd.Owner.Func != funcKey(fd):
+						pass.Reportf(d.pos,
+							"%s is not the registered owner of single-writer domain %q (that is %s.%s); update lint.WriterDomains if ownership moved",
+							funcKey(fd), d.reason, wd.Owner.Pkg, wd.Owner.Func)
+					}
+				}
+			}
+		}
+	}
+	declPos = func(key string) (token.Pos, bool) {
+		if fd, ok := declByKey[key]; ok {
+			return fd.Pos(), true
+		}
+		return token.NoPos, false
+	}
+
+	for _, domain := range domains {
+		key := ownedHere[domain]
+		pos, exists := declPos(key)
+		switch {
+		case !exists:
+			if len(pass.Files) > 0 {
+				pass.Reportf(pass.Files[0].Name.Pos(),
+					"single-writer domain %q names %s.%s as its owning dispatch loop but it no longer exists; update lint.WriterDomains",
+					domain, pass.Path, key)
+			}
+		case !annotated[key][domain]:
+			pass.Reportf(pos,
+				"%s is the owning dispatch loop of single-writer domain %q and must be annotated //lint:singlewriter %s",
+				key, domain, domain)
+		}
+	}
+}
+
+// checkExportedPaths flags exported, non-contract functions in a
+// state-declaring package from which that state is locally reachable.
+func checkExportedPaths(pass *Pass, nodes []*swNode, decls map[string]*swNode, tainted map[*swNode]bool) {
+	hasStateHere := false
+	for _, wd := range WriterDomains {
+		if len(wd.State[pass.Path]) > 0 {
+			hasStateHere = true
+		}
+	}
+	if !hasStateHere {
+		return
+	}
+
+	// reaches computes, per declaration, the set of state calls locally
+	// reachable from it (stopping at owners and at state functions — a
+	// registered state function calling another is inside the contract).
+	memo := make(map[*swNode][]*ast.CallExpr)
+	visiting := make(map[*swNode]bool)
+	var reaches func(n *swNode) []*ast.CallExpr
+	reaches = func(n *swNode) []*ast.CallExpr {
+		if n == nil || visiting[n] {
+			return nil
+		}
+		if out, ok := memo[n]; ok {
+			return out
+		}
+		visiting[n] = true
+		var out []*ast.CallExpr
+		for _, call := range n.calls {
+			fn := callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Path {
+				// Cross-package calls are out of scope here: an exported
+				// function of this package calling another package's state is
+				// the sanctioned cooperative pattern (it runs under the
+				// dispatch loop); the goroutine taint check still covers the
+				// concurrent case.
+				continue
+			}
+			key := typeFuncKey(fn)
+			if stateDomain(pass.Path, key) != "" {
+				out = append(out, call)
+				continue
+			}
+			if !isOwnerKey(pass.Path, key) {
+				out = append(out, reaches(decls[key])...)
+			}
+		}
+		visiting[n] = false
+		memo[n] = out
+		return out
+	}
+
+	for _, n := range nodes {
+		if n.fd == nil || !n.fd.Name.IsExported() {
+			continue
+		}
+		key := n.key
+		if isOwnerKey(pass.Path, key) || stateDomain(pass.Path, key) != "" {
+			continue
+		}
+		if tainted[n] {
+			continue // already reported as goroutine-spawned
+		}
+		seen := make(map[string]bool) // dedup diamond call paths to one state fn
+		for _, call := range reaches(n) {
+			fn := callee(pass.Info, call)
+			stateKey := typeFuncKey(fn)
+			domain := stateDomain(pass.Path, stateKey)
+			if seen[stateKey] {
+				continue
+			}
+			seen[stateKey] = true
+			if pass.Allowed("allow-concurrent", call.Pos()) || pass.Allowed("allow-concurrent", n.fd.Pos()) {
+				continue
+			}
+			pass.Reportf(n.fd.Pos(),
+				"exported function %s reaches single-writer state %s.%s (domain %q) outside the dispatch loop's ownership; register it as domain state in lint.WriterDomains or waive with //lint:allow-concurrent <reason>",
+				key, pass.Path, stateKey, domain)
+		}
+	}
+}
+
+// typeFuncKey renders a *types.Func the way funcKey renders a FuncDecl:
+// "Name", "T.Name" or "(*T).Name".
+func typeFuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			return fmt.Sprintf("(*%s).%s", named.Obj().Name(), fn.Name())
+		}
+		return fn.Name()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return fmt.Sprintf("%s.%s", named.Obj().Name(), fn.Name())
+	}
+	return fn.Name()
+}

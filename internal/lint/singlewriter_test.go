@@ -1,0 +1,48 @@
+package lint
+
+import "testing"
+
+// TestSingleWriter swaps the production WriterDomains registry for one that
+// names owners and state inside the testdata package, mirroring how the
+// other registry-backed analyzers (hotpath) are tested.
+func TestSingleWriter(t *testing.T) {
+	saved := WriterDomains
+	defer func() { WriterDomains = saved }()
+	WriterDomains = map[string]WriterDomain{
+		"clock": {
+			Owner: FuncRef{Pkg: "singlewriter", Func: "(*looper).run"},
+			State: map[string][]string{
+				"singlewriter": {"set", "current", "(*looper).reset"},
+			},
+		},
+		"silent": {
+			Owner: FuncRef{Pkg: "singlewriter", Func: "quietLoop"},
+		},
+		"forker": {
+			Owner: FuncRef{Pkg: "singlewriter", Func: "(*forker).run"},
+		},
+		"ghost": {
+			Owner: FuncRef{Pkg: "singlewriter", Func: "(*gone).run"},
+		},
+	}
+	runTest(t, SingleWriter, "singlewriter")
+}
+
+// TestWriterDomainsRegistry sanity-checks the production registry itself:
+// every domain names an owner in a real package, and state entries use the
+// funcKey rendering ("Name", "T.Name", "(*T).Name" — no package qualifier).
+func TestWriterDomainsRegistry(t *testing.T) {
+	for name, wd := range WriterDomains {
+		if wd.Owner.Pkg == "" || wd.Owner.Func == "" {
+			t.Errorf("domain %q: incomplete owner %+v", name, wd.Owner)
+		}
+		for pkg, keys := range wd.State {
+			if pkg == "" {
+				t.Errorf("domain %q: empty state package", name)
+			}
+			if len(keys) == 0 {
+				t.Errorf("domain %q: state package %s registers no functions", name, pkg)
+			}
+		}
+	}
+}

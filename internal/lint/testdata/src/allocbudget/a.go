@@ -1,0 +1,56 @@
+package allocbudget
+
+// Golden tests for the allocbudget analyzer. Unlike the other testdata
+// packages this one is really compiled (it has a go.mod): the test runs the
+// escape-fact pipeline on it, so the `want` expectations below assert
+// against the actual compiler escape analysis, not a simulation of it.
+
+type payload struct{ data []byte }
+
+var sink *payload
+
+// OnBudget has exactly one heap-escape site (the payload node published to
+// the package-level sink) and declares exactly that.
+//
+//lint:hotpath
+//lint:allocbudget 1 the published payload node is the one sanctioned allocation
+func OnBudget() {
+	sink = &payload{}
+}
+
+// OverBudget declares one allocation but the compiler proves two.
+//
+//lint:hotpath
+//lint:allocbudget 1 pretends the buffer is free
+func OverBudget(n int) *payload { // want "OverBudget exceeds its allocation budget: 2 heap-escape site\\(s\\), budget 1"
+	buf := make([]byte, n)   // want "heap-escape site in budgeted function OverBudget: make\\(\\[\\]byte, n\\) escapes to heap"
+	p := &payload{data: buf} // want "heap-escape site in budgeted function OverBudget: &payload\\{\\.\\.\\.\\} escapes to heap \\(return p \\(return\\)\\)"
+	return p
+}
+
+// UnderBudget declares two allocations but the compiler proves one: the
+// budget must be lowered so the improvement is locked in.
+//
+//lint:hotpath
+//lint:allocbudget 2 stale budget kept after an optimisation
+func UnderBudget() { // want "UnderBudget is under its allocation budget: 1 heap-escape site\\(s\\) < budget 2"
+	sink = &payload{}
+}
+
+// MissingBudget is a hot path with no declared budget.
+//
+//lint:hotpath
+func MissingBudget() int { // want "//lint:hotpath function MissingBudget has no allocation budget"
+	return 1
+}
+
+//lint:hotpath
+//lint:allocbudget twelve reasons are not a number // want "malformed //lint:allocbudget on Malformed"
+func Malformed() int {
+	return 2
+}
+
+// ColdPath has no annotations at all and allocates freely.
+func ColdPath(n int) []byte {
+	return make([]byte, n)
+}

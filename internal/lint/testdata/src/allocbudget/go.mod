@@ -1,0 +1,3 @@
+module allocbudget
+
+go 1.22

@@ -1,0 +1,11 @@
+package allocorder
+
+// Second compiled testdata package for the allocbudget ordering test: the
+// analyzer must produce byte-identical diagnostics whichever order the
+// loader hands packages over in (go list output order is not contractual).
+
+//lint:hotpath
+//lint:allocbudget 0 this path must stay allocation-free
+func Leak(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,3 @@
+module allocorder
+
+go 1.22

@@ -1,0 +1,106 @@
+package poolhygiene
+
+import (
+	"errors"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 64); return &b }}
+
+var errFail = errors.New("fail")
+
+func use(b *[]byte) {}
+
+// okDefer: a deferred Put covers every return path.
+func okDefer() {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	use(b)
+}
+
+// okBothPaths: an explicit Put before each return.
+func okBothPaths(fail bool) error {
+	b := bufPool.Get().(*[]byte)
+	if fail {
+		bufPool.Put(b)
+		return errFail
+	}
+	use(b)
+	bufPool.Put(b)
+	return nil
+}
+
+// leakEarlyReturn: the classic early-error-return leak — the error path
+// exits before the Put.
+func leakEarlyReturn(fail bool) error {
+	b := bufPool.Get().(*[]byte)
+	if fail {
+		return errFail // want "return path drops pooled value b without a Put"
+	}
+	bufPool.Put(b)
+	return nil
+}
+
+// neverPut: the value is consumed and dropped.
+func neverPut() {
+	b := bufPool.Get().(*[]byte) // want "pooled value b is never Put back"
+	use(b)
+}
+
+// escapes: the pooled value is handed to the caller.
+func escapes() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	return b // want "pooled value b is returned without a Put"
+}
+
+type holder struct{ buf *[]byte }
+
+// retain: a long-lived struct keeps the buffer while it is recycled.
+func retain(h *holder) {
+	b := bufPool.Get().(*[]byte)
+	h.buf = b // want "pooled value b is retained in a struct field"
+	bufPool.Put(b)
+}
+
+// compose: same retention through a composite literal.
+func compose() *holder {
+	b := bufPool.Get().(*[]byte)
+	h := &holder{buf: b} // want "pooled value b is stored in a composite literal"
+	bufPool.Put(b)
+	return h
+}
+
+var global *[]byte
+
+// globalize: the pooled value outlives its scope in a package variable.
+func globalize() {
+	b := bufPool.Get().(*[]byte)
+	global = b // want "pooled value b is stored in package-level variable global"
+	bufPool.Put(b)
+}
+
+// unbound: nothing to audit a Put against.
+func unbound() {
+	use(bufPool.Get().(*[]byte)) // want "sync.Pool.Get result is not bound to a variable"
+}
+
+// handoff: a sanctioned cross-function ownership transfer, waived with a
+// reason.
+func handoff(ch chan *[]byte) {
+	//lint:allow-pool ownership transfers to the consumer, which Puts after use
+	b := bufPool.Get().(*[]byte)
+	ch <- b
+}
+
+// closureScopes: the literal is its own scope — its leak is reported there,
+// and its Get cannot be satisfied by the enclosing function's defer.
+func closureScopes() {
+	f := func() {
+		b := bufPool.Get().(*[]byte) // want "pooled value b is never Put back"
+		use(b)
+	}
+	f()
+	c := bufPool.Get().(*[]byte)
+	defer bufPool.Put(c)
+	use(c)
+}

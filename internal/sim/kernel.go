@@ -186,6 +186,7 @@ func (k *Kernel) Telemetry() telemetry.Sink { return k.tel }
 // event to keep the disabled path allocation-free.
 //
 //lint:hotpath
+//lint:allocbudget 0 disabled-telemetry is free and enabled sinks preallocate; BENCH sim=4 allocs/op happen in schedule, not here
 func (k *Kernel) Emit(ev telemetry.Event) {
 	if k.tel == nil {
 		return
@@ -201,6 +202,7 @@ func (k *Kernel) Emit(ev telemetry.Event) {
 // simulations cannot rewrite history.
 //
 //lint:hotpath
+//lint:allocbudget 4 one &event node per scheduled callback plus three Sprintf sites on the scheduling-in-the-past panic path
 func (k *Kernel) schedule(at Time, fn func(), p *Proc) *event {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
@@ -267,6 +269,15 @@ func (k *Kernel) Run() error { return k.RunUntil(Time(1<<62 - 1)) }
 // earlier). Like Run, it is terminal for process goroutines: any process
 // still blocked when the bound is reached is unwound so no goroutines leak;
 // only pure callback events survive into a later Run/RunUntil call.
+//
+// RunUntil is the dispatch loop that owns the simulator's single-writer
+// state: the obs region clock, the tenant register, and the mailbox queues
+// are only touched from code running synchronously under it (simlint's
+// singlewriter analyzer enforces this).
+//
+//lint:singlewriter region-clock
+//lint:singlewriter tenant-register
+//lint:singlewriter kernel-mailbox
 func (k *Kernel) RunUntil(end Time) error {
 	if k.running {
 		panic("sim: Run called reentrantly")

@@ -102,6 +102,7 @@ func (m *Mailbox) Len() int { return m.queue.Len() }
 // any. It is safe to call from scheduler callbacks as well as processes.
 //
 //lint:hotpath
+//lint:allocbudget 1 one &item node per enqueued message; it rides the heap.Push interface
 func (m *Mailbox) Send(msg any, prio Priority) {
 	if m.k.tel != nil {
 		m.k.Emit(telemetry.Event{Kind: telemetry.KindMailboxSend, Name: m.name, Prio: int8(prio)})
@@ -130,6 +131,7 @@ func (m *Mailbox) wakeOne() {
 // highest-priority (FIFO within priority) message.
 //
 //lint:hotpath
+//lint:allocbudget 0 pop and hand-off reuse the queued item; the receive path must stay allocation-free
 func (m *Mailbox) Recv(p *Proc) any {
 	for m.queue.Len() == 0 {
 		m.waiters = append(m.waiters, p)

@@ -142,6 +142,7 @@ func (p *Proc) block() {
 // Hold suspends the process for simulated duration d.
 //
 //lint:hotpath
+//lint:allocbudget 0 holds only arm a timer on the existing proc; allocation here would multiply by every hop of every transfer
 func (p *Proc) Hold(d time.Duration) {
 	if d < 0 {
 		d = 0

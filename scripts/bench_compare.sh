@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
 # Compare a fresh bench.sh result against the committed baseline and print a
-# per-benchmark delta table. Warn-only: regressions never fail the build —
-# benchmark noise on shared CI runners makes a hard gate counterproductive —
-# but the table in the job log gives performance a reviewable trajectory.
+# per-benchmark delta table. ns/op deltas are warn-only — benchmark noise on
+# shared CI runners makes a hard time gate counterproductive — but with
+# --strict-allocs any allocs/op movement on the hot-path packages fails the
+# run: allocation counts are exact, noise-free, and covered by the
+# //lint:allocbudget contract, so a drift here is a real change that must
+# land together with its budget update.
 #
-# Usage: scripts/bench_compare.sh <new.json> [baseline.json]
+# Usage: scripts/bench_compare.sh [--strict-allocs] <new.json> [baseline.json]
 #   Default baseline: the lexically newest committed BENCH_*.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-new="${1:?usage: bench_compare.sh <new.json> [baseline.json]}"
+strict=0
+if [ "${1:-}" = "--strict-allocs" ]; then
+  strict=1
+  shift
+fi
+
+new="${1:?usage: bench_compare.sh [--strict-allocs] <new.json> [baseline.json]}"
 base="${2:-}"
 if [ -z "$base" ]; then
   base="$(ls BENCH_*.json 2>/dev/null | grep -v -F "$(basename "$new")" | sort | tail -n1 || true)"
@@ -21,8 +30,8 @@ if [ -z "$base" ] || [ ! -f "$base" ]; then
 fi
 
 echo "comparing $new against baseline $base"
-python3 - "$base" "$new" <<'EOF'
-import json, sys
+STRICT_ALLOCS="$strict" python3 - "$base" "$new" <<'EOF'
+import json, os, sys
 
 def load(path):
     with open(path) as f:
@@ -31,6 +40,10 @@ def load(path):
 
 base, new = load(sys.argv[1]), load(sys.argv[2])
 THRESH = 0.15  # warn when ns/op moved more than this fraction either way
+STRICT = os.environ.get("STRICT_ALLOCS") == "1"
+# The packages whose hot functions carry //lint:allocbudget annotations:
+# alloc movement here is blocking under --strict-allocs.
+HOT_PKGS = {"wadc/internal/sim", "wadc/internal/netmodel", "wadc/internal/dataflow"}
 
 def rate(v):
     if v is None:
@@ -41,7 +54,7 @@ def rate(v):
         return f"{v/1e3:.0f}k"
     return f"{v:.0f}"
 
-rows, warned = [], 0
+rows, warned, blocking = [], 0, []
 for key in sorted(new):
     nb = new[key]
     bb = base.get(key)
@@ -66,6 +79,9 @@ for key in sorted(new):
         # Any alloc-count movement on a hot path is signal, never noise.
         flag = (flag + " " if flag else "") + f"allocs{dallocs:+d}"
         warned += 1
+        if STRICT and key[0] in HOT_PKGS:
+            flag += " BLOCKING"
+            blocking.append((key, bb["allocs_per_op"], allocs))
     rows.append((key, cur, delta, allocs, dallocs, evs, devs, flag))
 
 w = max(len(f"{p}.{n}") for (p, n), *_ in rows)
@@ -81,5 +97,11 @@ for pkg, name in gone:
     print(f"{(pkg + '.' + name).ljust(w)}  {'-':>12}  {'removed':>8}")
 
 if warned:
-    print(f"\nWARNING: {warned} benchmark(s) regressed more than {THRESH:.0%} vs {sys.argv[1]} (warn-only)")
+    print(f"\nWARNING: {warned} benchmark(s) moved more than {THRESH:.0%} vs {sys.argv[1]} (warn-only)")
+if blocking:
+    print(f"\nERROR: allocs/op moved on {len(blocking)} hot-path benchmark(s) (--strict-allocs):")
+    for (pkg, name), old, cur in blocking:
+        print(f"  {pkg}.{name}: {old} -> {cur} allocs/op")
+    print("update the //lint:allocbudget annotations (and this baseline) in the same change, or revert the allocation drift")
+    sys.exit(1)
 EOF

@@ -1,17 +1,33 @@
 #!/usr/bin/env bash
-# Run the repository's determinism / zero-alloc lint suite (cmd/simlint,
-# analyzers in internal/lint) over the whole module. CI runs this as a
-# blocking job; run it locally before sending a change that touches the
-# virtual-time packages or the telemetry hot path.
+# Run the repository's determinism / concurrency / allocation-budget lint
+# suite (cmd/simlint, analyzers in internal/lint) over the whole module. CI
+# runs this as a blocking job; run it locally before sending a change that
+# touches the virtual-time packages, the telemetry hot path, or anything
+# carrying a //lint:allocbudget or //lint:singlewriter annotation.
 #
 # Usage: scripts/lint.sh [package patterns]   (default: ./...)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-# simlint loads packages through `go list -export`, so dependency type
-# information comes out of the go build cache; priming it here keeps the
-# whole run to roughly `go vet` cost and lets CI cache one artifact.
+# simlint loads packages through `go list -export` (type information) and
+# replays the compiler's escape analysis (`go build -gcflags='<mod>/...=-m=2'`)
+# for the allocbudget analyzer. Both come out of the go build cache, so
+# priming the two artifacts here keeps the whole run to roughly `go vet`
+# cost. Note for any external cache wrapped around ~/.cache/go-build (the CI
+# simlint job): the build cache keys on the resolved go toolchain version AND
+# the -gcflags value — cached escape diagnostics are specific to both — so
+# the external cache key must include them too (see .github/workflows/ci.yml).
 go build ./...
+module="$(go list -m)"
+if ! m2err="$(go build "-gcflags=${module}/...=-m=2" ./... 2>&1 >/dev/null)"; then
+  echo "$m2err" >&2
+  exit 1
+fi
 
-go run ./cmd/simlint "${@:-./...}"
+fmt_args=()
+if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
+  # Violations double as inline PR annotations.
+  fmt_args+=(-github)
+fi
+go run ./cmd/simlint "${fmt_args[@]}" "${@:-./...}"
