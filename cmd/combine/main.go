@@ -59,6 +59,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event timeline JSON to this file")
 		eventsOut  = flag.String("events-out", "", "write the structured event log (JSON Lines) to this file")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics as CSV to this file")
+		estimates  = flag.Bool("estimates", false, "track estimator accuracy: join every consumed bandwidth estimate to ground truth (requires -events-out or -trace-out; analyse with `simscope estimator`)")
 
 		perf       = flag.Bool("perf", false, "print a host-process performance report (per-subsystem wall-time shares, events/sec)")
 		perfOut    = flag.String("perf-out", "", "write the performance report as JSON to this file (render with `simscope perf`)")
@@ -113,6 +114,10 @@ func main() {
 		rec = &telemetry.Recorder{}
 		sink = telemetry.ModelOnly(rec)
 	}
+	if *estimates && sink == nil {
+		fmt.Fprintln(os.Stderr, "combine: -estimates needs a telemetry destination (-events-out or -trace-out)")
+		os.Exit(2)
+	}
 
 	// Host-process performance instrumentation: one recorder feeds the
 	// report, the heartbeat, and the pprof labels. A nil recorder keeps
@@ -135,7 +140,7 @@ func main() {
 			period: *period, iters: *iters, seed: *seed, config: *config,
 			verbose: *verbose,
 			links:   assignment.LinkFn(),
-			sink:    sink, rec: rec,
+			sink:    sink, rec: rec, estimates: *estimates,
 			traceOut: *traceOut, eventsOut: *eventsOut, metricsOut: *metricsOut,
 			perf: *perf, perfOut: *perfOut, perfRec: perfRec,
 			heartbeat: heartbeat, stopProfiles: stopProfiles,
@@ -156,6 +161,7 @@ func main() {
 		},
 		Telemetry:      sink,
 		CollectMetrics: *metricsOut != "",
+		TrackEstimates: *estimates,
 		Perf:           perfRec,
 	})
 	stopProfiles()
@@ -247,6 +253,7 @@ type multiOpts struct {
 	links       core.LinkFn
 	sink        telemetry.Sink
 	rec         *telemetry.Recorder
+	estimates   bool
 	traceOut    string
 	eventsOut   string
 	metricsOut  string
@@ -285,6 +292,7 @@ func runMultiTenant(o multiOpts) {
 		Period:         o.period,
 		Telemetry:      o.sink,
 		CollectMetrics: o.metricsOut != "",
+		TrackEstimates: o.estimates,
 		Perf:           o.perfRec,
 	})
 	o.stopProfiles()

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2, 6, 7, 8, 9, 10, discussion, ordering, ablations, faults, multitenant or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2, 6, 7, 8, 9, 10, discussion, ordering, ablations, faults, multitenant, estimator or all")
 		configs  = flag.Int("configs", 300, "number of network configurations")
 		servers  = flag.Int("servers", 8, "number of servers (figures 6, 7, 9, 10)")
 		iters    = flag.Int("iters", 180, "images per server")
@@ -136,8 +136,14 @@ func main() {
 		fmt.Println(r.Render())
 		ran++
 	}
+	if want("estimator") {
+		r, err := experiment.FigureEstimator(opts)
+		exitOn(err)
+		fmt.Println(r.Render())
+		ran++
+	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 2, 6, 7, 8, 9, 10, discussion, ordering, ablations, faults, multitenant or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 2, 6, 7, 8, 9, 10, discussion, ordering, ablations, faults, multitenant, estimator or all)\n", *fig)
 		os.Exit(2)
 	}
 	//lint:allow-walltime progress display only; simulated time never sees it

@@ -25,6 +25,16 @@
 //	    whole analysis to one tenant's sub-log. -v adds one attribution
 //	    line per iteration; -csv exports the per-iteration breakdown.
 //
+//	simscope estimator [-csv out.csv] [-tenant id] run.jsonl
+//	    How good were the bandwidth estimates the decisions ran on? Joins
+//	    every consumed estimate against the ground truth the network
+//	    delivered over its validity window (logged by `combine -estimates`):
+//	    per-link signed error, staleness-vs-error correlation, provenance
+//	    mix, regime-change detection lag, per-algorithm consumption
+//	    profiles, and the miss-attribution of large errors to reverted and
+//	    off-path decisions. -csv exports the per-link accuracy table;
+//	    -tenant restricts the analysis to one tenant's sub-log.
+//
 //	simscope diff a.jsonl b.jsonl
 //	    Are two runs the same run? Two same-seed, same-config logs must be
 //	    event-for-event identical (the determinism contract); the diff
@@ -80,6 +90,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdDecisions(args[1:], stdout)
 	case "critpath":
 		err = cmdCritPath(args[1:], stdout)
+	case "estimator":
+		err = cmdEstimator(args[1:], stdout)
 	case "diff":
 		identical, derr := cmdDiff(args[1:], stdout)
 		if derr == nil && !identical {
@@ -111,6 +123,7 @@ func usage(w io.Writer) {
   simscope timeline <run.jsonl>
   simscope decisions [-v] <run.jsonl> [more.jsonl ...]
   simscope critpath [-v] [-csv out.csv] [-tenant id] <run.jsonl>
+  simscope estimator [-csv out.csv] [-tenant id] <run.jsonl>
   simscope diff <a.jsonl> <b.jsonl>
   simscope perf [-csv out.csv] <perf.json>
 `)
@@ -220,6 +233,50 @@ func cmdCritPath(args []string, stdout io.Writer) error {
 			return err
 		}
 		if err := analysis.WriteCritPathCSV(f, paths); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdEstimator(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("estimator", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	csvPath := fs.String("csv", "", "write the per-link accuracy table as CSV to this path")
+	tenantID := fs.Int("tenant", -1, "restrict the analysis to one tenant's sub-log (multi-tenant logs)")
+	if err := fs.Parse(args); err != nil {
+		return usageError(err.Error())
+	}
+	if fs.NArg() != 1 {
+		return usageError(fmt.Sprintf("estimator wants exactly one log, got %d", fs.NArg()))
+	}
+	events, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *tenantID >= 0 {
+		events = analysis.FilterTenant(events, int32(*tenantID))
+	}
+	fmt.Fprintf(stdout, "== %s ==\n", filepath.Base(fs.Arg(0)))
+	if *tenantID >= 0 {
+		fmt.Fprintf(stdout, "tenant %d sub-log (%d events)\n", *tenantID, len(events))
+	}
+	rep := analysis.BuildEstimatorReport(events)
+	if rep.Uses == 0 {
+		fmt.Fprintln(stdout, "no estimate-used events in log (run combine with -estimates)")
+		return nil
+	}
+	fmt.Fprint(stdout, analysis.FormatEstimatorReport(rep))
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := analysis.WriteEstimatorCSV(f, rep); err != nil {
 			f.Close()
 			return err
 		}

@@ -309,3 +309,89 @@ func TestCritPathEmptyLog(t *testing.T) {
 		t.Errorf("output = %q", stdout)
 	}
 }
+
+// estimatorLog is a small log with estimate-used and regime-detected events
+// under two tenant IDs.
+func estimatorLog(t *testing.T) string {
+	const sec = int64(1_000_000_000)
+	base := []telemetry.Event{
+		{Kind: telemetry.KindEstimateUsed, At: 100 * sec, Node: 4, Host: 0, Peer: 1,
+			Value: 1100, Bytes: 1000, Dur: 10 * sec, Wait: 30 * sec, Startup: 2 * sec,
+			Seq: 1, Name: "global", Aux: "probe"},
+		{Kind: telemetry.KindEstimateUsed, At: 200 * sec, Node: 4, Host: 0, Peer: 1,
+			Value: 800, Bytes: 1000, Dur: 20 * sec, Wait: 20 * sec,
+			Seq: 2, Name: "global", Aux: "fresh-cache"},
+		{Kind: telemetry.KindRegimeDetected, At: 150 * sec, Node: 4, Host: 0, Peer: 1,
+			Dur: 5 * sec, Value: 2000, Bytes: 1000, Seq: 1, Aux: "up"},
+	}
+	var events []telemetry.Event
+	for _, tid := range []int32{1, 2} {
+		for _, ev := range base {
+			ev.Tenant = tid
+			events = append(events, ev)
+		}
+	}
+	return writeLog(t, "est.jsonl", events)
+}
+
+func TestEstimatorSubcommand(t *testing.T) {
+	log := estimatorLog(t)
+	code, stdout, stderr := runCLI("estimator", log)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	for _, want := range []string{
+		"estimator accuracy (estimates consumed by placement decisions):",
+		"uses=4 links=1",
+		"per-algorithm consumption:",
+		"regime changes: detections=2",
+		"miss attribution",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output lacks %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestEstimatorCSVExport(t *testing.T) {
+	log := estimatorLog(t)
+	csv := filepath.Join(t.TempDir(), "est.csv")
+	if code, _, stderr := runCLI("estimator", "-csv", csv, log); code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv has %d lines, want header + 1 link:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "a,b,n,mean_err") || !strings.HasPrefix(lines[1], "0,1,4,") {
+		t.Errorf("csv = %q", data)
+	}
+}
+
+func TestEstimatorTenantFilter(t *testing.T) {
+	log := estimatorLog(t)
+	code, stdout, stderr := runCLI("estimator", "-tenant", "2", log)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "tenant 2 sub-log") || !strings.Contains(stdout, "uses=2 links=1") {
+		t.Errorf("filtered output:\n%s", stdout)
+	}
+}
+
+func TestEstimatorEmptyLog(t *testing.T) {
+	log := writeLog(t, "noest.jsonl", []telemetry.Event{
+		{Kind: telemetry.KindImageArrived, At: 10, Iter: 0},
+	})
+	code, stdout, _ := runCLI("estimator", log)
+	if code != 0 {
+		t.Errorf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "no estimate-used events") {
+		t.Errorf("output = %q", stdout)
+	}
+}

@@ -1,0 +1,449 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"wadc/internal/telemetry"
+)
+
+// EstimateUse is one estimate-used event parsed from a telemetry log: a
+// placement decision consumed one bandwidth estimate, joined at emission time
+// to the ground truth the network delivered over the estimate's remaining
+// validity window.
+type EstimateUse struct {
+	// At is the consumption time (simulated ns).
+	At int64
+	// Tenant is the consuming tenant (0 outside multi-tenant runs); Seq the
+	// decision record and Algorithm the policy that consumed the estimate.
+	Tenant    int32
+	Seq       int64
+	Algorithm string
+	// Viewer is the host whose cache served the estimate; A<->B the link.
+	Viewer int32
+	A, B   int32
+	// Est is the estimate served (bytes/s); Truth the ground-truth mean
+	// bandwidth over the validity window (bytes/s).
+	Est, Truth float64
+	// RelErr is the signed relative error (Est-Truth)/Truth (NaN when the
+	// true bandwidth was zero: the link was fully blacked out).
+	RelErr float64
+	// Age is how stale the underlying measurement was at use; Window the
+	// validity window the truth was averaged over; ProbeCost the simulated
+	// time the consumer spent waiting on the producing probe (all ns;
+	// ProbeCost is 0 for cache and piggyback hits).
+	Age, Window, ProbeCost int64
+	// Provenance is where the estimate came from: "probe", "fresh-cache",
+	// "piggyback" or "stale-fallback".
+	Provenance string
+}
+
+// AbsErr returns |RelErr| (NaN propagates).
+func (u EstimateUse) AbsErr() float64 { return math.Abs(u.RelErr) }
+
+// ExtractEstimates parses a log's estimate-used events in log order.
+func ExtractEstimates(events []telemetry.Event) []EstimateUse {
+	var out []EstimateUse
+	for _, ev := range events {
+		if ev.Kind != telemetry.KindEstimateUsed {
+			continue
+		}
+		u := EstimateUse{
+			At: ev.At, Tenant: ev.Tenant, Seq: ev.Seq, Algorithm: ev.Name,
+			Viewer: ev.Node, A: ev.Host, B: ev.Peer,
+			Est: ev.Value, Truth: float64(ev.Bytes),
+			Age: ev.Dur, Window: ev.Wait, ProbeCost: ev.Startup,
+			Provenance: ev.Aux,
+		}
+		if u.Truth > 0 {
+			u.RelErr = (u.Est - u.Truth) / u.Truth
+		} else {
+			u.RelErr = math.NaN()
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// RegimeDetection is one regime-detected event: the first consumed estimate
+// whose underlying measurement postdated a true >= 10 % bandwidth change.
+type RegimeDetection struct {
+	// At is the detection time; the true change happened at At-Lag.
+	At  int64
+	Lag int64
+	// Tenant/Seq identify the detecting decision; Viewer its vantage host.
+	Tenant int32
+	Seq    int64
+	Viewer int32
+	// A<->B is the link; the true level moved From -> To (bytes/s), in
+	// direction Dir ("up" or "down").
+	A, B     int32
+	From, To float64
+	Dir      string
+}
+
+// ExtractRegimeDetections parses a log's regime-detected events in log order.
+func ExtractRegimeDetections(events []telemetry.Event) []RegimeDetection {
+	var out []RegimeDetection
+	for _, ev := range events {
+		if ev.Kind != telemetry.KindRegimeDetected {
+			continue
+		}
+		out = append(out, RegimeDetection{
+			At: ev.At, Lag: ev.Dur, Tenant: ev.Tenant, Seq: ev.Seq,
+			Viewer: ev.Node, A: ev.Host, B: ev.Peer,
+			From: float64(ev.Bytes), To: ev.Value, Dir: ev.Aux,
+		})
+	}
+	return out
+}
+
+// estimatorEWMAAlpha weights the per-link error EWMA: recent consumptions
+// dominate after ~1/alpha uses.
+const estimatorEWMAAlpha = 0.2
+
+// MissErrThreshold classifies a consumption as a "large error" for the
+// miss-attribution join: a >= 25 % relative error is well past the paper's
+// 10 % significance bar and plausibly changes a placement choice.
+const MissErrThreshold = 0.25
+
+// LinkAccuracy aggregates one link's consumed estimates.
+type LinkAccuracy struct {
+	A, B int32
+	// N counts consumptions; Scored those with a finite relative error.
+	N, Scored int
+	// MeanErr and EWMAErr summarise the signed relative error (positive =
+	// overestimation); the percentiles summarise its magnitude.
+	MeanErr, EWMAErr     float64
+	P50AbsErr, P95AbsErr float64
+	// MeanAge is the mean estimate age at use (seconds); AgeErrCorr the
+	// Pearson correlation between age and |error| (0 when degenerate) — the
+	// staleness-vs-error diagnostic.
+	MeanAge    float64
+	AgeErrCorr float64
+	// ByProvenance counts consumptions per provenance class.
+	ByProvenance map[string]int
+	// Detections, MeanLag and MaxLag summarise regime-change detection on
+	// this link (lags in seconds).
+	Detections      int
+	MeanLag, MaxLag float64
+}
+
+// EstimatorProfile is one algorithm's estimate-consumption profile.
+type EstimatorProfile struct {
+	Algorithm string
+	N         int
+	// MeanAbsErr and P95AbsErr summarise the error magnitude of what the
+	// algorithm actually consumed.
+	MeanAbsErr, P95AbsErr float64
+	// ProbeFraction is the share of consumptions that cost a fresh probe;
+	// StaleFraction the share served from stale-fallback bounds.
+	ProbeFraction, StaleFraction float64
+	// MeanAge is the mean estimate age at use (seconds); ProbeCost the total
+	// simulated seconds the algorithm's decisions spent waiting on probes.
+	MeanAge   float64
+	ProbeCost float64
+}
+
+// MissAttribution joins large-error consumptions to decision outcomes: of the
+// decisions the run later reverted (or whose predicted critical path missed
+// the realized one), how many had consumed a large-error estimate?
+type MissAttribution struct {
+	// Threshold is the |relative error| bar (MissErrThreshold).
+	Threshold float64
+	// LargeUses counts consumptions at or over the bar; LargeDecisions the
+	// distinct decisions that consumed at least one.
+	LargeUses, LargeDecisions int
+	// RevertedLarge / RevertedAll: reverted decisions that did / did not
+	// need a large-error estimate to go wrong.
+	RevertedLarge, RevertedAll int
+	// OffPathLarge / OffPathAll: same join against predictions whose
+	// critical path missed the realized one (scored windows only).
+	OffPathLarge, OffPathAll int
+}
+
+// EstimatorReport is the full estimator-accuracy analysis of one log.
+type EstimatorReport struct {
+	Uses       int
+	Links      []LinkAccuracy
+	Profiles   []EstimatorProfile
+	Detections int
+	// MeanLag and P95Lag summarise detection lag across all links (seconds).
+	MeanLag, P95Lag float64
+	// ProbeCost is the total simulated time decisions spent waiting on
+	// consumed probes; AmortisedProbeCost is ProbeCost/Uses — the probe
+	// price per consumed estimate (both seconds).
+	ProbeCost          float64
+	AmortisedProbeCost float64
+	Misses             MissAttribution
+}
+
+// BuildEstimatorReport mines a log's estimate-used and regime-detected events
+// and joins large errors against the decision audit (reverted moves) and the
+// realized critical paths (off-path predictions).
+func BuildEstimatorReport(events []telemetry.Event) EstimatorReport {
+	uses := ExtractEstimates(events)
+	detections := ExtractRegimeDetections(events)
+	rep := EstimatorReport{Uses: len(uses), Detections: len(detections)}
+
+	type linkKey struct{ a, b int32 }
+	links := make(map[linkKey]*LinkAccuracy)
+	order := []linkKey{}
+	get := func(k linkKey) *LinkAccuracy {
+		la := links[k]
+		if la == nil {
+			la = &LinkAccuracy{A: k.a, B: k.b, ByProvenance: make(map[string]int)}
+			links[k] = la
+			order = append(order, k)
+		}
+		return la
+	}
+	absErrs := make(map[linkKey][]float64)
+	ages := make(map[linkKey][]float64)
+	for _, u := range uses {
+		k := linkKey{u.A, u.B}
+		la := get(k)
+		la.N++
+		la.ByProvenance[u.Provenance]++
+		la.MeanAge += secs(u.Age)
+		if !math.IsNaN(u.RelErr) {
+			if la.Scored == 0 {
+				la.EWMAErr = u.RelErr
+			} else {
+				la.EWMAErr = estimatorEWMAAlpha*u.RelErr + (1-estimatorEWMAAlpha)*la.EWMAErr
+			}
+			la.Scored++
+			la.MeanErr += u.RelErr
+			absErrs[k] = append(absErrs[k], u.AbsErr())
+			ages[k] = append(ages[k], secs(u.Age))
+		}
+	}
+	var lags []float64
+	for _, d := range detections {
+		la := get(linkKey{d.A, d.B})
+		la.Detections++
+		lag := secs(d.Lag)
+		la.MeanLag += lag
+		if lag > la.MaxLag {
+			la.MaxLag = lag
+		}
+		lags = append(lags, lag)
+		rep.MeanLag += lag
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].a != order[j].a {
+			return order[i].a < order[j].a
+		}
+		return order[i].b < order[j].b
+	})
+	for _, k := range order {
+		la := links[k]
+		if la.N > 0 {
+			la.MeanAge /= float64(la.N)
+		}
+		if la.Scored > 0 {
+			la.MeanErr /= float64(la.Scored)
+			errs := absErrs[k]
+			sorted := append([]float64(nil), errs...)
+			sort.Float64s(sorted)
+			la.P50AbsErr = sorted[int(0.5*float64(len(sorted)-1))]
+			la.P95AbsErr = sorted[int(0.95*float64(len(sorted)-1))]
+			la.AgeErrCorr = pearson(ages[k], errs)
+		}
+		if la.Detections > 0 {
+			la.MeanLag /= float64(la.Detections)
+		}
+		rep.Links = append(rep.Links, *la)
+	}
+	if len(lags) > 0 {
+		rep.MeanLag /= float64(len(lags))
+		sort.Float64s(lags)
+		rep.P95Lag = lags[int(0.95*float64(len(lags)-1))]
+	}
+
+	rep.Profiles = buildEstimatorProfiles(uses)
+	for _, u := range uses {
+		rep.ProbeCost += secs(u.ProbeCost)
+	}
+	if rep.Uses > 0 {
+		rep.AmortisedProbeCost = rep.ProbeCost / float64(rep.Uses)
+	}
+	rep.Misses = attributeMisses(uses, events)
+	return rep
+}
+
+// buildEstimatorProfiles aggregates per-algorithm consumption, sorted by
+// algorithm name.
+func buildEstimatorProfiles(uses []EstimateUse) []EstimatorProfile {
+	byAlg := make(map[string]*EstimatorProfile)
+	errsByAlg := make(map[string][]float64)
+	var names []string
+	for _, u := range uses {
+		p := byAlg[u.Algorithm]
+		if p == nil {
+			p = &EstimatorProfile{Algorithm: u.Algorithm}
+			byAlg[u.Algorithm] = p
+			names = append(names, u.Algorithm)
+		}
+		p.N++
+		p.MeanAge += secs(u.Age)
+		p.ProbeCost += secs(u.ProbeCost)
+		if u.Provenance == "probe" {
+			p.ProbeFraction++
+		}
+		if u.Provenance == "stale-fallback" {
+			p.StaleFraction++
+		}
+		if !math.IsNaN(u.RelErr) {
+			errsByAlg[u.Algorithm] = append(errsByAlg[u.Algorithm], u.AbsErr())
+		}
+	}
+	sort.Strings(names)
+	out := make([]EstimatorProfile, 0, len(names))
+	for _, name := range names {
+		p := byAlg[name]
+		p.ProbeFraction /= float64(p.N)
+		p.StaleFraction /= float64(p.N)
+		p.MeanAge /= float64(p.N)
+		if errs := errsByAlg[name]; len(errs) > 0 {
+			sum := 0.0
+			for _, e := range errs {
+				sum += e
+			}
+			p.MeanAbsErr = sum / float64(len(errs))
+			sort.Float64s(errs)
+			p.P95AbsErr = errs[int(0.95*float64(len(errs)-1))]
+		}
+		out = append(out, *p)
+	}
+	return out
+}
+
+// attributeMisses joins large-error consumptions to the decisions that went
+// wrong: reverted moves (from the decision audit) and off-path predictions
+// (from the realized critical paths).
+func attributeMisses(uses []EstimateUse, events []telemetry.Event) MissAttribution {
+	m := MissAttribution{Threshold: MissErrThreshold}
+	large := make(map[decKey]bool)
+	for _, u := range uses {
+		if math.IsNaN(u.RelErr) || u.AbsErr() < MissErrThreshold {
+			continue
+		}
+		m.LargeUses++
+		large[decKey{tenant: u.Tenant, seq: u.Seq}] = true
+	}
+	m.LargeDecisions = len(large)
+	outcomes := Attribute(ExtractDecisions(events), events)
+	for _, o := range outcomes {
+		if !o.Reverted {
+			continue
+		}
+		m.RevertedAll++
+		if large[decKey{tenant: o.Tenant, seq: o.Seq}] {
+			m.RevertedLarge++
+		}
+	}
+	paths := ExtractCritPaths(events)
+	for _, c := range ComparePredictions(outcomes, paths, events) {
+		if len(c.WindowIters) == 0 || c.OnPath {
+			continue
+		}
+		m.OffPathAll++
+		if large[decKey{tenant: c.Tenant, seq: c.Seq}] {
+			m.OffPathLarge++
+		}
+	}
+	return m
+}
+
+// pearson returns the Pearson correlation coefficient of two equal-length
+// samples (0 when either is constant or too short to correlate).
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// provenanceColumns fixes the provenance column order of the estimator table
+// and CSV.
+var provenanceColumns = []string{"probe", "fresh-cache", "piggyback", "stale-fallback"}
+
+// FormatEstimatorReport renders the estimator-accuracy analysis (the
+// `simscope estimator` output; pinned by a golden test).
+func FormatEstimatorReport(rep EstimatorReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "estimator accuracy (estimates consumed by placement decisions):\n")
+	fmt.Fprintf(&sb, "  uses=%d links=%d probe-cost=%.1fs (%.3fs/use)\n",
+		rep.Uses, len(rep.Links), rep.ProbeCost, rep.AmortisedProbeCost)
+	sb.WriteString("  link     n    mean-err  ewma-err  p50|err|  p95|err|  age(s)  corr   probe  fresh  piggy  stale  det  lag(s)\n")
+	for _, la := range rep.Links {
+		fmt.Fprintf(&sb, "  %2d<->%-2d  %3d  %+8.3f  %+8.3f  %8.3f  %8.3f  %6.1f  %+.2f  %5d  %5d  %5d  %5d  %3d  %6.1f\n",
+			la.A, la.B, la.N, la.MeanErr, la.EWMAErr, la.P50AbsErr, la.P95AbsErr,
+			la.MeanAge, la.AgeErrCorr,
+			la.ByProvenance["probe"], la.ByProvenance["fresh-cache"],
+			la.ByProvenance["piggyback"], la.ByProvenance["stale-fallback"],
+			la.Detections, la.MeanLag)
+	}
+	sb.WriteString("per-algorithm consumption:\n")
+	sb.WriteString("  algorithm     n  mean|err|  p95|err|  probe%  stale%  age(s)  probe-cost(s)\n")
+	for _, p := range rep.Profiles {
+		fmt.Fprintf(&sb, "  %-9s  %4d  %9.3f  %8.3f  %5.1f%%  %5.1f%%  %6.1f  %13.1f\n",
+			p.Algorithm, p.N, p.MeanAbsErr, p.P95AbsErr,
+			p.ProbeFraction*100, p.StaleFraction*100, p.MeanAge, p.ProbeCost)
+	}
+	fmt.Fprintf(&sb, "regime changes: detections=%d mean-lag=%.1fs p95-lag=%.1fs\n",
+		rep.Detections, rep.MeanLag, rep.P95Lag)
+	m := rep.Misses
+	fmt.Fprintf(&sb, "miss attribution (|rel err| >= %.2f): %d large-error uses across %d decisions; reverted %d/%d; off-path %d/%d\n",
+		m.Threshold, m.LargeUses, m.LargeDecisions,
+		m.RevertedLarge, m.RevertedAll, m.OffPathLarge, m.OffPathAll)
+	return sb.String()
+}
+
+// WriteEstimatorCSV exports one row per link: the accuracy aggregates,
+// provenance counts and detection-lag summary. This is the determinism
+// artifact CI compares across same-seed runs (per-link p95 error and
+// detection lag must be byte-identical).
+func WriteEstimatorCSV(w io.Writer, rep EstimatorReport) error {
+	if _, err := fmt.Fprintln(w, "a,b,n,mean_err,ewma_err,p50_abs_err,p95_abs_err,mean_age_s,age_err_corr,probe,fresh_cache,piggyback,stale_fallback,detections,mean_lag_s,max_lag_s"); err != nil {
+		return err
+	}
+	for _, la := range rep.Links {
+		counts := make([]string, len(provenanceColumns))
+		for i, p := range provenanceColumns {
+			counts[i] = fmt.Sprintf("%d", la.ByProvenance[p])
+		}
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%s,%s,%s,%s,%s,%s,%s,%d,%s,%s\n",
+			la.A, la.B, la.N,
+			csvFloat(la.MeanErr), csvFloat(la.EWMAErr),
+			csvFloat(la.P50AbsErr), csvFloat(la.P95AbsErr),
+			csvFloat(la.MeanAge), csvFloat(la.AgeErrCorr),
+			strings.Join(counts, ","),
+			la.Detections, csvFloat(la.MeanLag), csvFloat(la.MaxLag))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"wadc/internal/telemetry"
+)
+
+const estSec = int64(1_000_000_000)
+
+// estimatorFixture is a small hand-built log: three scored uses and one
+// unscoreable (blacked-out link) use across two links and two algorithms,
+// plus two regime detections on the first link.
+func estimatorFixture() []telemetry.Event {
+	return []telemetry.Event{
+		{Kind: telemetry.KindEstimateUsed, At: 100 * estSec, Node: 4, Host: 0, Peer: 1,
+			Value: 1100, Bytes: 1000, Dur: 10 * estSec, Wait: 30 * estSec, Startup: 2 * estSec,
+			Seq: 1, Name: "global", Aux: "probe"},
+		{Kind: telemetry.KindEstimateUsed, At: 200 * estSec, Node: 4, Host: 0, Peer: 1,
+			Value: 800, Bytes: 1000, Dur: 20 * estSec, Wait: 20 * estSec,
+			Seq: 2, Name: "global", Aux: "fresh-cache"},
+		{Kind: telemetry.KindEstimateUsed, At: 300 * estSec, Node: 2, Host: 0, Peer: 1,
+			Value: 1300, Bytes: 1000, Dur: 30 * estSec, Wait: 10 * estSec,
+			Seq: 3, Name: "local", Aux: "piggyback"},
+		{Kind: telemetry.KindEstimateUsed, At: 400 * estSec, Node: 2, Host: 2, Peer: 3,
+			Value: 500, Bytes: 0, Dur: 40 * estSec, Wait: estSec,
+			Seq: 4, Name: "local", Aux: "stale-fallback"},
+		{Kind: telemetry.KindRegimeDetected, At: 150 * estSec, Node: 4, Host: 0, Peer: 1,
+			Dur: 5 * estSec, Value: 2000, Bytes: 1000, Seq: 1, Aux: "up"},
+		{Kind: telemetry.KindRegimeDetected, At: 250 * estSec, Node: 4, Host: 0, Peer: 1,
+			Dur: 15 * estSec, Value: 900, Bytes: 2000, Seq: 2, Aux: "down"},
+	}
+}
+
+func TestExtractEstimates(t *testing.T) {
+	uses := ExtractEstimates(estimatorFixture())
+	if len(uses) != 4 {
+		t.Fatalf("uses = %d, want 4", len(uses))
+	}
+	u := uses[0]
+	if u.Viewer != 4 || u.A != 0 || u.B != 1 || u.Seq != 1 || u.Algorithm != "global" {
+		t.Errorf("identity = %+v", u)
+	}
+	if u.Est != 1100 || u.Truth != 1000 || math.Abs(u.RelErr-0.1) > 1e-9 {
+		t.Errorf("error join = est %v truth %v rel %v", u.Est, u.Truth, u.RelErr)
+	}
+	if u.Age != 10*estSec || u.Window != 30*estSec || u.ProbeCost != 2*estSec {
+		t.Errorf("timing = %+v", u)
+	}
+	if u.Provenance != "probe" {
+		t.Errorf("provenance = %q", u.Provenance)
+	}
+	// A blacked-out link (zero truth) cannot be scored.
+	if !math.IsNaN(uses[3].RelErr) || !math.IsNaN(uses[3].AbsErr()) {
+		t.Errorf("zero-truth rel err = %v, want NaN", uses[3].RelErr)
+	}
+	if uses[1].RelErr > -0.199 || uses[1].RelErr < -0.201 {
+		t.Errorf("underestimate rel err = %v, want -0.2", uses[1].RelErr)
+	}
+}
+
+func TestExtractRegimeDetections(t *testing.T) {
+	dets := ExtractRegimeDetections(estimatorFixture())
+	if len(dets) != 2 {
+		t.Fatalf("detections = %d, want 2", len(dets))
+	}
+	d := dets[1]
+	if d.A != 0 || d.B != 1 || d.Lag != 15*estSec || d.From != 2000 || d.To != 900 || d.Dir != "down" {
+		t.Errorf("detection = %+v", d)
+	}
+}
+
+func TestBuildEstimatorReport(t *testing.T) {
+	rep := BuildEstimatorReport(estimatorFixture())
+	if rep.Uses != 4 || len(rep.Links) != 2 {
+		t.Fatalf("uses=%d links=%d, want 4/2", rep.Uses, len(rep.Links))
+	}
+	la := rep.Links[0]
+	if la.A != 0 || la.B != 1 || la.N != 3 || la.Scored != 3 {
+		t.Fatalf("link 0<->1 = %+v", la)
+	}
+	// Signed errors in log order: +0.1, -0.2, +0.3.
+	if math.Abs(la.MeanErr-0.2/3) > 1e-9 {
+		t.Errorf("mean err = %v, want %v", la.MeanErr, 0.2/3)
+	}
+	// EWMA (alpha 0.2), first sample seeds: 0.1 -> 0.04 -> 0.092.
+	if math.Abs(la.EWMAErr-0.092) > 1e-9 {
+		t.Errorf("ewma err = %v, want 0.092", la.EWMAErr)
+	}
+	if la.P50AbsErr != 0.2 || la.P95AbsErr != 0.2 {
+		t.Errorf("p50/p95 = %v/%v, want 0.2/0.2", la.P50AbsErr, la.P95AbsErr)
+	}
+	if la.MeanAge != 20 {
+		t.Errorf("mean age = %v, want 20s", la.MeanAge)
+	}
+	// Ages 10,20,30 vs |err| 0.1,0.2,0.3: perfectly correlated.
+	if math.Abs(la.AgeErrCorr-1) > 1e-9 {
+		t.Errorf("age-err corr = %v, want 1", la.AgeErrCorr)
+	}
+	if la.ByProvenance["probe"] != 1 || la.ByProvenance["fresh-cache"] != 1 || la.ByProvenance["piggyback"] != 1 {
+		t.Errorf("provenance counts = %v", la.ByProvenance)
+	}
+	if la.Detections != 2 || la.MeanLag != 10 || la.MaxLag != 15 {
+		t.Errorf("detections = %d lag %v/%v, want 2, 10s mean, 15s max", la.Detections, la.MeanLag, la.MaxLag)
+	}
+	// The blacked-out link is present but unscored.
+	lb := rep.Links[1]
+	if lb.A != 2 || lb.B != 3 || lb.N != 1 || lb.Scored != 0 || lb.P95AbsErr != 0 {
+		t.Errorf("link 2<->3 = %+v", lb)
+	}
+	if rep.Detections != 2 || rep.MeanLag != 10 || rep.P95Lag != 5 {
+		t.Errorf("global detections = %d lag %v p95 %v", rep.Detections, rep.MeanLag, rep.P95Lag)
+	}
+	if rep.ProbeCost != 2 || rep.AmortisedProbeCost != 0.5 {
+		t.Errorf("probe cost = %v (%v/use), want 2s (0.5s/use)", rep.ProbeCost, rep.AmortisedProbeCost)
+	}
+
+	if len(rep.Profiles) != 2 {
+		t.Fatalf("profiles = %+v", rep.Profiles)
+	}
+	g, l := rep.Profiles[0], rep.Profiles[1]
+	if g.Algorithm != "global" || g.N != 2 || math.Abs(g.MeanAbsErr-0.15) > 1e-9 ||
+		g.ProbeFraction != 0.5 || g.StaleFraction != 0 || g.MeanAge != 15 || g.ProbeCost != 2 {
+		t.Errorf("global profile = %+v", g)
+	}
+	if l.Algorithm != "local" || l.N != 2 || math.Abs(l.MeanAbsErr-0.3) > 1e-9 ||
+		l.ProbeFraction != 0 || l.StaleFraction != 0.5 || l.MeanAge != 35 {
+		t.Errorf("local profile = %+v", l)
+	}
+
+	// Only the +0.3 use clears the 25 % miss bar; no decision audit in the
+	// fixture, so the reverted/off-path joins stay empty.
+	m := rep.Misses
+	if m.LargeUses != 1 || m.LargeDecisions != 1 || m.RevertedAll != 0 || m.OffPathAll != 0 {
+		t.Errorf("miss attribution = %+v", m)
+	}
+}
+
+func TestEstimatorReportEmptyLog(t *testing.T) {
+	rep := BuildEstimatorReport(nil)
+	if rep.Uses != 0 || len(rep.Links) != 0 || rep.Detections != 0 || rep.AmortisedProbeCost != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+	// Rendering an empty report must not panic.
+	if out := FormatEstimatorReport(rep); !strings.Contains(out, "uses=0") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestFormatEstimatorReport(t *testing.T) {
+	out := FormatEstimatorReport(BuildEstimatorReport(estimatorFixture()))
+	for _, want := range []string{
+		"uses=4 links=2",
+		" 0<->1 ",
+		"global",
+		"local",
+		"regime changes: detections=2 mean-lag=10.0s p95-lag=5.0s",
+		"miss attribution (|rel err| >= 0.25): 1 large-error uses across 1 decisions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteEstimatorCSVDeterministic: the CSV is CI's cross-run determinism
+// artifact, so two builds over the same log must serialize byte-identically.
+func TestWriteEstimatorCSVDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteEstimatorCSV(&a, BuildEstimatorReport(estimatorFixture())); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEstimatorCSV(&b, BuildEstimatorReport(estimatorFixture())); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same-log CSVs diverge")
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want header + 2 links:\n%s", len(lines), a.String())
+	}
+	if !strings.HasPrefix(lines[0], "a,b,n,mean_err") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,1,3,") || !strings.HasPrefix(lines[2], "2,3,1,") {
+		t.Errorf("rows = %q, %q", lines[1], lines[2])
+	}
+}
+
+func TestPearson(t *testing.T) {
+	if got := pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	if got := pearson([]float64{1, 2, 3}, []float64{6, 4, 2}); math.Abs(got+1) > 1e-9 {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if got := pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("constant x = %v, want 0", got)
+	}
+	if got := pearson([]float64{1}, []float64{2}); got != 0 {
+		t.Errorf("short sample = %v, want 0", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"wadc/internal/dataflow"
+	"wadc/internal/estacc"
 	"wadc/internal/faults"
 	"wadc/internal/monitor"
 	"wadc/internal/netmodel"
@@ -109,6 +110,13 @@ type RunConfig struct {
 	// CollectMetrics attaches a telemetry.Collector to the run and snapshots
 	// its registry into RunResult.Metrics.
 	CollectMetrics bool
+	// TrackEstimates attaches the estimator-accuracy tracker: every bandwidth
+	// estimate a placement decision consumes is joined to the ground truth
+	// the network model delivered over the estimate's validity window and
+	// emitted as estimate-used / regime-detected telemetry. Requires a
+	// telemetry sink (Telemetry or CollectMetrics) to have any effect; like
+	// every other observability layer it never perturbs the simulation.
+	TrackEstimates bool
 	// Perf, when set, attaches a host-process performance recorder: the
 	// kernel attributes wall time per subsystem, counts events and
 	// transfers, and pprof-labels process goroutines; Run finalizes the
@@ -153,6 +161,9 @@ type RunResult struct {
 	// Perf is the finalized host-process performance report (nil unless
 	// RunConfig.Perf was set).
 	Perf *obs.Report
+	// Estimator summarises estimator-accuracy tracking (zero unless
+	// RunConfig.TrackEstimates was set with a telemetry sink).
+	Estimator estacc.Stats
 }
 
 // Run executes one complete simulation and returns its result.
@@ -246,6 +257,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	model := plan.DefaultCostModel(workload.MeanBytes(images))
 	inst := placement.NewInstance(net, mon, tree, serverHosts, client.ID(), model)
+	if cfg.TrackEstimates {
+		inst.Acc = estacc.New(net, mon)
+	}
 
 	var eng *dataflow.Engine
 	var initialPl *plan.Placement
@@ -298,5 +312,6 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if cfg.Perf != nil {
 		res.Perf = cfg.Perf.Report()
 	}
+	res.Estimator = inst.Acc.Stats()
 	return res, nil
 }

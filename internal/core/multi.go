@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wadc/internal/dataflow"
+	"wadc/internal/estacc"
 	"wadc/internal/faults"
 	"wadc/internal/metrics"
 	"wadc/internal/monitor"
@@ -55,6 +56,11 @@ type MultiConfig struct {
 	Telemetry telemetry.Sink
 	// CollectMetrics snapshots the shared metric registry into the result.
 	CollectMetrics bool
+	// TrackEstimates attaches one shared estimator-accuracy tracker: every
+	// tenant's placement decisions join their consumed estimates to ground
+	// truth (events carry the consuming tenant's tag). Requires a telemetry
+	// sink to have any effect; purely observational.
+	TrackEstimates bool
 	// Perf, when set, attaches a host-process performance recorder to the
 	// shared kernel (see RunConfig.Perf); RunMulti finalizes it into
 	// MultiResult.Perf. Purely observational: artifacts are byte-identical
@@ -124,6 +130,9 @@ type MultiResult struct {
 	// Perf is the finalized host-process performance report (nil unless
 	// MultiConfig.Perf was set).
 	Perf *obs.Report
+	// Estimator summarises estimator-accuracy tracking across all tenants
+	// (zero unless MultiConfig.TrackEstimates was set with a telemetry sink).
+	Estimator estacc.Stats
 }
 
 // tenantRun is the harness's per-tenant state: everything resolved at setup
@@ -205,6 +214,10 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 		}
 	}
 	mon := monitor.NewSystem(net, cfg.Monitor)
+	var acc *estacc.Tracker // one shared tracker: per-link regime cursors span tenants
+	if cfg.TrackEstimates {
+		acc = estacc.New(net, mon)
+	}
 
 	var inj *faults.Injector
 	var faultPlan *faults.Plan
@@ -275,7 +288,7 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 	for _, tr := range runs {
 		tr := tr
 		k.At(tr.spec.ArriveAt, func() {
-			launchTenant(k, net, mon, client.ID(), inj, tr)
+			launchTenant(k, net, mon, acc, client.ID(), inj, tr)
 		})
 	}
 
@@ -340,6 +353,7 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 	if cfg.Perf != nil {
 		res.Perf = cfg.Perf.Report()
 	}
+	res.Estimator = acc.Stats()
 	return res, nil
 }
 
@@ -391,7 +405,7 @@ func prepareTenant(sp tenant.Spec, cfg MultiConfig, net *netmodel.Network) (*ten
 // emits the arrival event and spawns its bootstrap process (tagged with the
 // tenant ID so the whole per-tenant process tree inherits the tag).
 func launchTenant(k *sim.Kernel, net *netmodel.Network, mon *monitor.System,
-	clientHost netmodel.HostID, inj *faults.Injector, tr *tenantRun) {
+	acc *estacc.Tracker, clientHost netmodel.HostID, inj *faults.Injector, tr *tenantRun) {
 	sp := tr.spec
 	tr.arrivedAt = k.Now()
 	if k.Telemetry() != nil {
@@ -402,6 +416,7 @@ func launchTenant(k *sim.Kernel, net *netmodel.Network, mon *monitor.System,
 	}
 	bp := k.Spawn(fmt.Sprintf("t%d.bootstrap", sp.ID), func(p *sim.Proc) {
 		inst := placement.NewInstance(net, mon, tr.tree, tr.serverHosts, clientHost, tr.model)
+		inst.Acc = acc
 		initial := tr.policy.InitialPlacement(p, inst)
 		tr.initial = initial.Clone()
 		eng := dataflow.New(dataflow.Config{

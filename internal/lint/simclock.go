@@ -14,6 +14,7 @@ var SimClockPackages = []string{
 	"wadc/internal/dataflow",
 	"wadc/internal/placement",
 	"wadc/internal/monitor",
+	"wadc/internal/estacc",
 	"wadc/internal/faults",
 	"wadc/internal/core",
 	"wadc/internal/trace",

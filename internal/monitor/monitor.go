@@ -64,11 +64,54 @@ const (
 	ProbeNetwork
 )
 
+// Provenance records where a bandwidth figure came from, both as the origin
+// byte carried by every cache Entry and as the attribution EstimateDetail
+// reports for each estimate it serves. The estimator-accuracy layer
+// (internal/estacc) and the decision audit trail key their staleness
+// analysis on it: a piggybacked entry and a probe-timeout bound can carry
+// the same age but have very different error profiles.
+type Provenance uint8
+
+const (
+	// ProvProbe: a completed on-demand probe measured the value for this
+	// caller. Only EstimateDetail reports it; cache entries written from a
+	// probe result are ProvFreshCache (locally measured) thereafter.
+	ProvProbe Provenance = iota
+	// ProvFreshCache: the entry was measured at this host — passively from
+	// a large transfer, or as the landed result of an earlier probe.
+	ProvFreshCache
+	// ProvPiggyback: the entry was learned from another host's piggybacked
+	// cache, not measured here.
+	ProvPiggyback
+	// ProvStaleFallback: the value is a probe-timeout pessimistic lower
+	// bound, not a measurement; piggybacking preserves this marking.
+	ProvStaleFallback
+	// ProvLocal: a same-host "link", served as effectively infinite.
+	ProvLocal
+)
+
+var provNames = [...]string{
+	ProvProbe:         "probe",
+	ProvFreshCache:    "fresh-cache",
+	ProvPiggyback:     "piggyback",
+	ProvStaleFallback: "stale-fallback",
+	ProvLocal:         "local",
+}
+
+// String implements fmt.Stringer; the names appear as telemetry Aux values.
+func (p Provenance) String() string {
+	if int(p) < len(provNames) {
+		return provNames[p]
+	}
+	return "unknown"
+}
+
 // Entry is a cached bandwidth measurement for a host pair.
 type Entry struct {
 	A, B netmodel.HostID // canonical order: A < B
 	BW   trace.Bandwidth
-	At   sim.Time // measurement time
+	At   sim.Time   // measurement time
+	Prov Provenance // how the entry got into this cache
 }
 
 // Config parameterises the monitoring system.
@@ -111,14 +154,14 @@ type Cache struct {
 	entries map[pairKey]Entry
 }
 
-// Record stores a measurement, keeping the newer of the existing and new
-// entries for the pair.
-func (c *Cache) Record(a, b netmodel.HostID, bw trace.Bandwidth, at sim.Time) {
+// Record stores a measurement with its provenance, keeping the newer of the
+// existing and new entries for the pair.
+func (c *Cache) Record(a, b netmodel.HostID, bw trace.Bandwidth, at sim.Time, prov Provenance) {
 	k := keyOf(a, b)
 	if cur, ok := c.entries[k]; ok && cur.At >= at {
 		return
 	}
-	c.entries[k] = Entry{A: k[0], B: k[1], BW: bw, At: at}
+	c.entries[k] = Entry{A: k[0], B: k[1], BW: bw, At: at, Prov: prov}
 }
 
 // Lookup returns the cached measurement for (a, b) if it is fresh (younger
@@ -165,9 +208,17 @@ func (c *Cache) freshest(max int) []Entry {
 }
 
 // merge folds piggybacked entries into the cache, keeping newer timestamps.
+// Entries arriving here were learned over the wire, not measured locally, so
+// they are re-marked ProvPiggyback — except probe-timeout bounds, whose
+// ProvStaleFallback marking must survive any number of piggyback hops (a
+// relayed pessimistic bound is still a bound, not a measurement).
 func (c *Cache) merge(entries []Entry) {
 	for _, e := range entries {
-		c.Record(e.A, e.B, e.BW, e.At)
+		prov := ProvPiggyback
+		if e.Prov == ProvStaleFallback {
+			prov = ProvStaleFallback
+		}
+		c.Record(e.A, e.B, e.BW, e.At, prov)
 	}
 }
 
@@ -268,8 +319,8 @@ func (s *System) AfterDeliver(msg *netmodel.Message, linkDuration time.Duration)
 		bw := s.net.MeasuredBandwidth(msg.Size, linkDuration)
 		if bw > 0 {
 			now := s.net.Kernel().Now()
-			s.Cache(msg.Src).Record(msg.Src, msg.Dst, bw, now)
-			s.Cache(msg.Dst).Record(msg.Src, msg.Dst, bw, now)
+			s.Cache(msg.Src).Record(msg.Src, msg.Dst, bw, now, ProvFreshCache)
+			s.Cache(msg.Dst).Record(msg.Src, msg.Dst, bw, now, ProvFreshCache)
 			s.passiveMeas++
 			if k := s.net.Kernel(); k.Telemetry() != nil {
 				k.Emit(telemetry.Event{
@@ -285,25 +336,52 @@ func (s *System) AfterDeliver(msg *netmodel.Message, linkDuration time.Duration)
 	}
 }
 
+// EstimateInfo attributes one served estimate: where the value came from,
+// when the underlying measurement was taken, and how much simulated time
+// this call spent probing (zero for cache hits). It is a small value type so
+// returning one allocates nothing.
+type EstimateInfo struct {
+	// Prov is the estimate's provenance at the moment of use.
+	Prov Provenance
+	// MeasuredAt is when the underlying measurement was taken; the
+	// estimate's age at use is Now - MeasuredAt.
+	MeasuredAt sim.Time
+	// ProbeCost is the simulated time this call's on-demand probe cost the
+	// requesting process (0 for cache hits and ProbeOracle probes).
+	ProbeCost time.Duration
+}
+
 // Probe performs an on-demand bandwidth measurement of the (a, b) link on
 // behalf of process p, records it in viewer's cache (and both endpoints'),
 // and returns it. Cost depends on the configured ProbeMode.
 func (s *System) Probe(p *sim.Proc, viewer, a, b netmodel.HostID) trace.Bandwidth {
+	bw, _ := s.ProbeDetail(p, viewer, a, b)
+	return bw
+}
+
+// ProbeDetail is Probe plus attribution: the info reports whether the probe
+// completed (ProvProbe) or hit the timeout lower-bound path
+// (ProvStaleFallback), the measurement time, and the simulated time the
+// probe cost the requesting process.
+func (s *System) ProbeDetail(p *sim.Proc, viewer, a, b netmodel.HostID) (trace.Bandwidth, EstimateInfo) {
 	s.probes++
-	bw := s.doProbe(p, viewer, a, b)
+	start := s.net.Kernel().Now()
+	bw, prov := s.doProbe(p, viewer, a, b)
+	now := s.net.Kernel().Now()
+	info := EstimateInfo{Prov: prov, MeasuredAt: now, ProbeCost: now.Sub(start)}
 	if k := s.net.Kernel(); k.Telemetry() != nil {
 		k.Emit(telemetry.Event{
 			Kind: telemetry.KindProbeIssued,
 			Host: int32(a), Peer: int32(b), Node: int32(viewer),
-			Value: float64(bw),
+			Value: float64(bw), Dur: int64(info.ProbeCost),
 		})
 	}
-	return bw
+	return bw, info
 }
 
-func (s *System) doProbe(p *sim.Proc, viewer, a, b netmodel.HostID) trace.Bandwidth {
+func (s *System) doProbe(p *sim.Proc, viewer, a, b netmodel.HostID) (trace.Bandwidth, Provenance) {
 	if s.cfg.ProbeMode == ProbeNetwork {
-		return s.networkProbe(p, viewer, a, b)
+		return s.networkProbe(p, viewer, a, b), ProvProbe
 	}
 	if s.cfg.ProbeMode == ProbeTimed {
 		tr := s.net.Link(a, b)
@@ -316,19 +394,19 @@ func (s *System) doProbe(p *sim.Proc, viewer, a, b netmodel.HostID) trace.Bandwi
 			p.Hold(s.cfg.ProbeTimeout)
 			now := s.net.Kernel().Now()
 			bw := trace.Bandwidth(float64(s.cfg.ProbeSize) / s.cfg.ProbeTimeout.Seconds())
-			s.Cache(viewer).Record(a, b, bw, now)
-			s.Cache(a).Record(a, b, bw, now)
-			s.Cache(b).Record(a, b, bw, now)
-			return bw
+			s.Cache(viewer).Record(a, b, bw, now, ProvStaleFallback)
+			s.Cache(a).Record(a, b, bw, now, ProvStaleFallback)
+			s.Cache(b).Record(a, b, bw, now, ProvStaleFallback)
+			return bw, ProvStaleFallback
 		}
 		p.Hold(rtt)
 	}
 	now := s.net.Kernel().Now()
 	bw := s.net.BandwidthAt(a, b, now)
-	s.Cache(viewer).Record(a, b, bw, now)
-	s.Cache(a).Record(a, b, bw, now)
-	s.Cache(b).Record(a, b, bw, now)
-	return bw
+	s.Cache(viewer).Record(a, b, bw, now, ProvFreshCache)
+	s.Cache(a).Record(a, b, bw, now, ProvFreshCache)
+	s.Cache(b).Record(a, b, bw, now, ProvFreshCache)
+	return bw, ProvProbe
 }
 
 // Estimate returns viewer's best estimate of the (a, b) bandwidth: a fresh
@@ -339,21 +417,31 @@ func (s *System) Estimate(p *sim.Proc, viewer, a, b netmodel.HostID) trace.Bandw
 	return bw
 }
 
-// EstimateDetail is Estimate plus provenance: fromCache reports whether the
-// value was served from viewer's cache (true) or cost an on-demand probe
-// (false). The placement-decision audit trail records this per link, so
-// prediction errors can be attributed to stale cache entries vs fresh
-// measurements. Same-host lookups count as cache hits.
-func (s *System) EstimateDetail(p *sim.Proc, viewer, a, b netmodel.HostID) (bw trace.Bandwidth, fromCache bool) {
+// EstimateDetail is Estimate plus attribution: the returned info carries the
+// estimate's provenance (probe / fresh-cache / piggyback / stale-fallback /
+// local), the time the underlying measurement was taken, and the probe cost
+// this call incurred. The placement-decision audit trail and the
+// estimator-accuracy layer (internal/estacc) record it per consumed
+// estimate, so prediction errors can be attributed to stale or second-hand
+// entries vs fresh measurements. Cache hits (and same-host lookups) are
+// zero-cost and allocation-free.
+func (s *System) EstimateDetail(p *sim.Proc, viewer, a, b netmodel.HostID) (trace.Bandwidth, EstimateInfo) {
 	if a == b {
-		return localBandwidth, true
+		return localBandwidth, EstimateInfo{Prov: ProvLocal, MeasuredAt: s.net.Kernel().Now()}
 	}
 	if e, ok := s.Cache(viewer).Lookup(a, b); ok {
 		s.cacheHits++
-		return e.BW, true
+		prov := e.Prov
+		if prov == ProvProbe {
+			// Defensive: cache entries are written as fresh-cache /
+			// piggyback / stale-fallback; a probe marking means the entry
+			// was recorded before provenance existed.
+			prov = ProvFreshCache
+		}
+		return e.BW, EstimateInfo{Prov: prov, MeasuredAt: e.At}
 	}
 	s.cacheMisses++
-	return s.Probe(p, viewer, a, b), false
+	return s.ProbeDetail(p, viewer, a, b)
 }
 
 // localBandwidth stands in for "no network hop": transfers between co-located

@@ -83,7 +83,7 @@ func TestSmallMessagesNotMeasured(t *testing.T) {
 
 func TestCacheTimeout(t *testing.T) {
 	r := newRig(t, DefaultConfig())
-	r.sys.Cache(0).Record(0, 1, 1000, 0)
+	r.sys.Cache(0).Record(0, 1, 1000, 0, ProvFreshCache)
 	// Fresh at t=40s, stale at t=40s+1.
 	r.k.After(DefaultTThres, func() {
 		if _, ok := r.sys.Cache(0).Lookup(0, 1); !ok {
@@ -106,13 +106,13 @@ func TestCacheTimeout(t *testing.T) {
 func TestRecordKeepsNewest(t *testing.T) {
 	r := newRig(t, DefaultConfig())
 	c := r.sys.Cache(0)
-	c.Record(1, 0, 100, 10*sim.Second) // reversed pair order canonicalised
-	c.Record(0, 1, 50, 5*sim.Second)   // older: ignored
+	c.Record(1, 0, 100, 10*sim.Second, ProvFreshCache) // reversed pair order canonicalised
+	c.Record(0, 1, 50, 5*sim.Second, ProvFreshCache)   // older: ignored
 	e, ok := c.LookupAny(0, 1)
 	if !ok || e.BW != 100 || e.At != 10*sim.Second {
 		t.Errorf("entry = %+v, ok=%v", e, ok)
 	}
-	c.Record(0, 1, 70, 20*sim.Second) // newer: replaces
+	c.Record(0, 1, 70, 20*sim.Second, ProvFreshCache) // newer: replaces
 	e, _ = c.LookupAny(0, 1)
 	if e.BW != 70 {
 		t.Errorf("entry not replaced: %+v", e)
@@ -125,7 +125,7 @@ func TestRecordKeepsNewest(t *testing.T) {
 func TestPiggybackPropagation(t *testing.T) {
 	r := newRig(t, DefaultConfig())
 	// Host 0 knows about link (1,2); a message 0->1 should carry it there.
-	r.sys.Cache(0).Record(1, 2, 12345, 0)
+	r.sys.Cache(0).Record(1, 2, 12345, 0, ProvFreshCache)
 	r.send(0, 1, 1024)
 	e, ok := r.sys.Cache(1).LookupAny(1, 2)
 	if !ok || e.BW != 12345 {
@@ -135,8 +135,8 @@ func TestPiggybackPropagation(t *testing.T) {
 
 func TestPiggybackKeepsNewerAtReceiver(t *testing.T) {
 	r := newRig(t, DefaultConfig())
-	r.sys.Cache(1).Record(1, 2, 999, 5*sim.Second)
-	r.sys.Cache(0).Record(1, 2, 111, 0) // older info at sender
+	r.sys.Cache(1).Record(1, 2, 999, 5*sim.Second, ProvFreshCache)
+	r.sys.Cache(0).Record(1, 2, 111, 0, ProvFreshCache) // older info at sender
 	r.send(0, 1, 1024)
 	e, _ := r.sys.Cache(1).LookupAny(1, 2)
 	if e.BW != 999 {
@@ -149,9 +149,9 @@ func TestPiggybackBudget(t *testing.T) {
 	cfg.PiggybackBudget = 32 // room for exactly 2 entries of 16 bytes
 	r := newRig(t, cfg)
 	c := r.sys.Cache(0)
-	c.Record(0, 1, 1, 1*sim.Second)
-	c.Record(0, 2, 2, 2*sim.Second)
-	c.Record(1, 2, 3, 3*sim.Second)
+	c.Record(0, 1, 1, 1*sim.Second, ProvFreshCache)
+	c.Record(0, 2, 2, 2*sim.Second, ProvFreshCache)
+	c.Record(1, 2, 3, 3*sim.Second, ProvFreshCache)
 	entries := c.freshest(cfg.PiggybackBudget / cfg.EntrySize)
 	if len(entries) != 2 {
 		t.Fatalf("freshest returned %d entries", len(entries))
@@ -164,7 +164,7 @@ func TestPiggybackBudget(t *testing.T) {
 
 func TestEstimateCacheHit(t *testing.T) {
 	r := newRig(t, DefaultConfig())
-	r.sys.Cache(0).Record(0, 1, 4242, 0)
+	r.sys.Cache(0).Record(0, 1, 4242, 0, ProvFreshCache)
 	var got trace.Bandwidth
 	r.k.Spawn("q", func(p *sim.Proc) {
 		got = r.sys.Estimate(p, 0, 0, 1)
@@ -261,7 +261,7 @@ func TestPiggybackOnLocalDelivery(t *testing.T) {
 	// Local (same-host) messages still pass through the observer without
 	// being measured.
 	r := newRig(t, DefaultConfig())
-	r.sys.Cache(0).Record(1, 2, 77, 0)
+	r.sys.Cache(0).Record(1, 2, 77, 0, ProvFreshCache)
 	r.k.Spawn("s", func(p *sim.Proc) {
 		r.net.Send(p, &netmodel.Message{Src: 0, Dst: 0, Port: "x", Size: 1 << 20, Prio: sim.PriorityData})
 	})
@@ -276,13 +276,109 @@ func TestPiggybackOnLocalDelivery(t *testing.T) {
 	}
 }
 
+// TestEstimateProvenance pins the attribution EstimateDetail reports for
+// every way an estimate can be served: same-host lookups are "local", fresh
+// locally-measured entries "fresh-cache", merged piggyback entries
+// "piggyback", probe-timeout bounds "stale-fallback", and cache misses cost
+// a "probe".
+func TestEstimateProvenance(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	// Host 0 measured (0,1) itself; host 0 also learned (1,2) via piggyback
+	// from host 1.
+	r.sys.Cache(0).Record(0, 1, 5000, 0, ProvFreshCache)
+	r.sys.Cache(1).Record(1, 2, 7000, 0, ProvFreshCache)
+	r.send(1, 0, 1024) // piggybacks host 1's cache onto host 0
+	if e, ok := r.sys.Cache(0).LookupAny(1, 2); !ok || e.Prov != ProvPiggyback {
+		t.Fatalf("merged entry provenance = %+v ok=%v, want piggyback", e, ok)
+	}
+
+	type obs struct {
+		bw   trace.Bandwidth
+		info EstimateInfo
+	}
+	var local, fresh, piggy, probe obs
+	r.k.Spawn("q", func(p *sim.Proc) {
+		local.bw, local.info = r.sys.EstimateDetail(p, 0, 1, 1)
+		fresh.bw, fresh.info = r.sys.EstimateDetail(p, 0, 0, 1)
+		piggy.bw, piggy.info = r.sys.EstimateDetail(p, 0, 1, 2)
+		probe.bw, probe.info = r.sys.EstimateDetail(p, 0, 0, 2) // miss: probes
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if local.info.Prov != ProvLocal || local.bw != localBandwidth {
+		t.Errorf("local = %+v", local)
+	}
+	if fresh.info.Prov != ProvFreshCache || fresh.bw != 5000 || fresh.info.ProbeCost != 0 {
+		t.Errorf("fresh = %+v", fresh)
+	}
+	if piggy.info.Prov != ProvPiggyback || piggy.bw != 7000 || piggy.info.ProbeCost != 0 {
+		t.Errorf("piggy = %+v", piggy)
+	}
+	if probe.info.Prov != ProvProbe || probe.info.ProbeCost <= 0 {
+		t.Errorf("probe = %+v", probe)
+	}
+}
+
+// TestStaleFallbackProvenanceSurvivesPiggyback: a probe-timeout pessimistic
+// bound must stay marked stale-fallback when it is piggybacked to another
+// host — a relayed bound is still a bound, not a measurement.
+func TestStaleFallbackProvenanceSurvivesPiggyback(t *testing.T) {
+	// Link (0,1) at 1 byte/s: a 16 KB timed probe would take hours, so it
+	// hits the 30 s timeout path.
+	r := newRig(t, DefaultConfig(), 1)
+	var info EstimateInfo
+	r.k.Spawn("q", func(p *sim.Proc) {
+		_, info = r.sys.EstimateDetail(p, 0, 0, 1)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if info.Prov != ProvStaleFallback {
+		t.Fatalf("timeout probe provenance = %v, want stale-fallback", info.Prov)
+	}
+	if info.ProbeCost != DefaultProbeTimeout {
+		t.Errorf("timeout probe cost = %v, want %v", info.ProbeCost, DefaultProbeTimeout)
+	}
+	// Piggyback host 0's cache (holding the bound) to host 2.
+	r.send(0, 2, 1024)
+	e, ok := r.sys.Cache(2).LookupAny(0, 1)
+	if !ok || e.Prov != ProvStaleFallback {
+		t.Errorf("relayed bound = %+v ok=%v, want stale-fallback preserved", e, ok)
+	}
+	// A cache hit on the bound reports stale-fallback too.
+	var hit EstimateInfo
+	r.k.Spawn("q2", func(p *sim.Proc) {
+		_, hit = r.sys.EstimateDetail(p, 2, 0, 1)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hit.Prov != ProvStaleFallback {
+		t.Errorf("cache hit on bound = %v, want stale-fallback", hit.Prov)
+	}
+}
+
+func TestProvenanceStrings(t *testing.T) {
+	want := map[Provenance]string{
+		ProvProbe: "probe", ProvFreshCache: "fresh-cache",
+		ProvPiggyback: "piggyback", ProvStaleFallback: "stale-fallback",
+		ProvLocal: "local", Provenance(250): "unknown",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Provenance(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
 func TestFreshestDeterministicOrder(t *testing.T) {
 	r := newRig(t, DefaultConfig())
 	c := r.sys.Cache(0)
 	// Same timestamp: ordered by pair for determinism.
-	c.Record(0, 2, 1, sim.Second)
-	c.Record(0, 1, 2, sim.Second)
-	c.Record(1, 2, 3, sim.Second)
+	c.Record(0, 2, 1, sim.Second, ProvFreshCache)
+	c.Record(0, 1, 2, sim.Second, ProvFreshCache)
+	c.Record(1, 2, 3, sim.Second, ProvFreshCache)
 	es := c.freshest(10)
 	if es[0].A != 0 || es[0].B != 1 || es[1].B != 2 || es[2].A != 1 {
 		t.Errorf("order not canonical: %+v", es)

@@ -131,7 +131,9 @@ func (s *System) executeProbe(p *sim.Proc, host *netmodel.Host, req probeExec) {
 	// read it from this host's cache and report it to the requester.
 	e, ok := s.Cache(host.ID()).LookupAny(host.ID(), req.Peer)
 	if !ok {
-		e = Entry{A: host.ID(), B: req.Peer, BW: 0, At: s.net.Kernel().Now()}
+		// No measurement landed (the echo was lost): report a zero bound so
+		// the requester does not trust the link.
+		e = Entry{A: host.ID(), B: req.Peer, BW: 0, At: s.net.Kernel().Now(), Prov: ProvStaleFallback}
 	}
 	if req.ReplyTo == host.ID() {
 		return // requester is local: the cache entry is already here
@@ -194,7 +196,7 @@ func (s *System) networkProbe(p *sim.Proc, viewer, a, b netmodel.HostID) trace.B
 	for {
 		msg := reports.Recv(p).(*netmodel.Message)
 		if rep, ok := msg.Payload.(probeReport); ok {
-			s.Cache(viewer).Record(rep.A, rep.B, rep.BW, rep.At)
+			s.Cache(viewer).Record(rep.A, rep.B, rep.BW, rep.At, ProvFreshCache)
 			if rep.Seq == seq {
 				return rep.BW
 			}

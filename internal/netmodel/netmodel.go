@@ -480,3 +480,20 @@ func (n *Network) MeasuredBandwidth(size int64, linkDuration time.Duration) trac
 	}
 	return trace.Bandwidth(float64(size) / payload.Seconds())
 }
+
+// TruthWindow returns the ground-truth mean bandwidth of the (a, b) link
+// over [from, from+window): the bytes the trace would deliver in that window
+// divided by its length. Like BandwidthAt it is an oracle interface — only
+// the estimator-accuracy observability layer (internal/estacc) and tests may
+// use it; placement algorithms see monitored values. It allocates nothing,
+// so the observability hot path stays zero-alloc when sampling truth.
+func (n *Network) TruthWindow(a, b HostID, from sim.Time, window time.Duration) trace.Bandwidth {
+	tr := n.Link(a, b)
+	if tr == nil {
+		panic(fmt.Sprintf("netmodel: no link %d<->%d", a, b))
+	}
+	if window <= 0 {
+		return tr.At(from)
+	}
+	return trace.Bandwidth(float64(tr.BytesIn(from, window)) / window.Seconds())
+}

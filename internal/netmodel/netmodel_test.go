@@ -370,3 +370,32 @@ func TestHostAccessors(t *testing.T) {
 		t.Error("Kernel accessor wrong")
 	}
 }
+
+// TestTruthWindow pins the oracle the estimator-accuracy layer judges
+// estimates against: the mean bandwidth over [from, from+window), stepwise
+// across trace samples, degrading to a point read for empty windows — and
+// allocation-free, since it runs on the placement hot path.
+func TestTruthWindow(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNetwork(k)
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	// 100 B/s for 10s, then 300 B/s: the mean over [5s, 15s) is 200 B/s.
+	tr := trace.New("step", 10*sim.Second, []trace.Bandwidth{100, 300})
+	n.SetLink(a.ID(), b.ID(), tr)
+
+	if got := n.TruthWindow(0, 1, 5*sim.Second, 10*time.Second); math.Abs(float64(got)-200) > 1 {
+		t.Errorf("stepwise mean = %v, want ~200", got)
+	}
+	if got := n.TruthWindow(0, 1, 2*sim.Second, 4*time.Second); math.Abs(float64(got)-100) > 1 {
+		t.Errorf("within-sample mean = %v, want ~100", got)
+	}
+	if got := n.TruthWindow(0, 1, 15*sim.Second, 0); got != 300 {
+		t.Errorf("empty window = %v, want point read 300", got)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		n.TruthWindow(0, 1, 5*sim.Second, 10*time.Second)
+	}); allocs != 0 {
+		t.Errorf("TruthWindow allocates %.0f/op, want 0", allocs)
+	}
+}

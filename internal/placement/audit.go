@@ -3,6 +3,7 @@ package placement
 import (
 	"strconv"
 
+	"wadc/internal/monitor"
 	"wadc/internal/netmodel"
 	"wadc/internal/plan"
 	"wadc/internal/sim"
@@ -100,20 +101,25 @@ func (a *Auditor) StartDecision(decider netmodel.HostID, iter int) Decision {
 // Seq returns the record's sequence id (0 for a silent handle).
 func (d Decision) Seq() int64 { return d.seq }
 
+// Alg returns the auditor's algorithm name ("" for a silent handle), so
+// downstream observers can attribute the decision without re-deriving it.
+func (d Decision) Alg() string {
+	if d.a == nil {
+		return ""
+	}
+	return d.a.alg
+}
+
 // Bandwidth records one link of the decision's bandwidth snapshot: the value
-// the optimiser saw for a<->b and whether it came from the viewer's cache or
-// cost a fresh probe.
-func (d Decision) Bandwidth(ha, hb netmodel.HostID, bw float64, fromCache bool) {
+// the optimiser saw for a<->b and where it came from (probe, fresh-cache,
+// piggyback, stale-fallback or local).
+func (d Decision) Bandwidth(ha, hb netmodel.HostID, bw float64, prov monitor.Provenance) {
 	if d.a == nil || d.a.k == nil {
 		return
 	}
-	src := "probe"
-	if fromCache {
-		src = "cache"
-	}
 	d.a.k.Emit(telemetry.Event{
 		Kind: telemetry.KindDecisionBandwidth,
-		Host: int32(ha), Peer: int32(hb), Value: bw, Seq: d.seq, Aux: src,
+		Host: int32(ha), Peer: int32(hb), Value: bw, Seq: d.seq, Aux: prov.String(),
 	})
 }
 

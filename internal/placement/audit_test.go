@@ -35,7 +35,7 @@ func TestAuditorNilSafe(t *testing.T) {
 	var a *Auditor
 	a.Bind(sim.NewKernel(), "x")
 	d := a.StartDecision(0, 0)
-	d.Bandwidth(0, 1, 1e6, true)
+	d.Bandwidth(0, 1, 1e6, monitor.ProvFreshCache)
 	d.Path(1.0, []plan.NodeID{1, 2})
 	d.Candidate(1, 0, 1, 0, 1.0, false)
 	d.Move(1, 0, 1, 0.5)
@@ -71,7 +71,7 @@ func TestAuditorDisabledZeroAlloc(t *testing.T) {
 	path := []plan.NodeID{1, 2, 3}
 	allocs := testing.AllocsPerRun(200, func() {
 		d := a.StartDecision(1, 4)
-		d.Bandwidth(0, 1, 1e6, false)
+		d.Bandwidth(0, 1, 1e6, monitor.ProvProbe)
 		d.Path(2.5, path)
 		d.Candidate(2, 0, 1, 0, 2.0, true)
 		d.Move(2, 0, 1, 0.5)
@@ -92,8 +92,8 @@ func TestAuditorEmitsDecisionRecord(t *testing.T) {
 
 	d := a.StartDecision(7, -1)
 	seq := d.Seq()
-	d.Bandwidth(0, 1, 2e6, true)
-	d.Bandwidth(1, 2, 3e6, false)
+	d.Bandwidth(0, 1, 2e6, monitor.ProvFreshCache)
+	d.Bandwidth(1, 2, 3e6, monitor.ProvProbe)
 	d.Path(4.5, []plan.NodeID{0, 4, 6})
 	d.Candidate(4, 1, 2, 3, 4.0, false)
 	d.Move(4, 1, 2, 0.5)
@@ -122,7 +122,7 @@ func TestAuditorEmitsDecisionRecord(t *testing.T) {
 	if start.Host != 7 || start.Iter != -1 || start.Aux != "global" {
 		t.Errorf("decision-start = %+v", start)
 	}
-	if bw := sink.events[1]; bw.Aux != "cache" || bw.Value != 2e6 {
+	if bw := sink.events[1]; bw.Aux != "fresh-cache" || bw.Value != 2e6 {
 		t.Errorf("cached bandwidth = %+v", bw)
 	}
 	if bw := sink.events[2]; bw.Aux != "probe" || bw.Value != 3e6 {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"wadc/internal/dataflow"
+	"wadc/internal/estacc"
 	"wadc/internal/monitor"
 	"wadc/internal/netmodel"
 	"wadc/internal/plan"
@@ -44,6 +45,10 @@ type Instance struct {
 	// computation"): all server hosts plus the client.
 	Hosts []netmodel.HostID
 	Model plan.CostModel
+	// Acc, when set, is the estimator-accuracy tracker: every estimate a
+	// snapshot serves to an optimiser is joined to ground truth and emitted
+	// as estimator telemetry. Nil (the default) records nothing.
+	Acc *estacc.Tracker
 }
 
 // NewInstance derives the candidate host set from the server/client layout.
@@ -83,9 +88,10 @@ func (x *Instance) SnapshotBW(p *sim.Proc, viewer netmodel.HostID) plan.Bandwidt
 
 // AuditedSnapshotBW is SnapshotBW plus the decision audit trail: the first
 // lookup of each distinct link additionally records the served value — and
-// whether it came from the viewer's cache or a fresh probe — as a
-// decision-bandwidth event on the open decision record d. A zero d is
-// SnapshotBW.
+// its provenance (probe, fresh-cache, piggyback, stale-fallback, local) — as
+// a decision-bandwidth event on the open decision record d, and joins it to
+// ground truth through the instance's estimator-accuracy tracker (if any). A
+// zero d is SnapshotBW with estimates attributed to decision 0.
 func (x *Instance) AuditedSnapshotBW(p *sim.Proc, viewer netmodel.HostID, d Decision) plan.BandwidthFn {
 	type key [2]netmodel.HostID
 	memo := make(map[key]trace.Bandwidth)
@@ -97,8 +103,9 @@ func (x *Instance) AuditedSnapshotBW(p *sim.Proc, viewer netmodel.HostID, d Deci
 		if v, ok := memo[k]; ok {
 			return v
 		}
-		v, fromCache := x.Mon.EstimateDetail(p, viewer, a, b)
-		d.Bandwidth(k[0], k[1], float64(v), fromCache)
+		v, info := x.Mon.EstimateDetail(p, viewer, a, b)
+		d.Bandwidth(k[0], k[1], float64(v), info.Prov)
+		x.Acc.Consumed(viewer, k[0], k[1], v, info, d.Seq(), d.Alg())
 		memo[k] = v
 		return v
 	}

@@ -75,7 +75,9 @@ const (
 	// Monitoring events.
 
 	// KindProbeIssued: an on-demand probe of the Host<->Peer link completed;
-	// Node is the viewer host, Value the measured bandwidth in bytes/s.
+	// Node is the viewer host, Value the measured bandwidth in bytes/s and
+	// Dur the simulated time the probe cost the requesting process (ns; 0
+	// in ProbeOracle mode).
 	KindProbeIssued
 	// KindPassiveMeasured: a passive measurement of Host<->Peer from a
 	// transfer of Bytes; Value is the bandwidth in bytes/s.
@@ -160,8 +162,12 @@ const (
 	// to an iteration, e.g. the periodic global placer).
 	KindDecisionStart
 	// KindDecisionBandwidth: decision Seq's snapshot served the Host<->Peer
-	// link at Value bytes/s (Aux is "cache" for a fresh cache hit, "probe"
-	// for an on-demand probe). Emitted once per distinct link per decision.
+	// link at Value bytes/s. Aux is the estimate's provenance: "probe" for
+	// an on-demand probe, "fresh-cache" for a locally measured cache hit,
+	// "piggyback" for an entry learned from another host's piggybacked
+	// cache, "stale-fallback" for a probe-timeout pessimistic bound, and
+	// "local" for a same-host lookup. Emitted once per distinct link per
+	// decision.
 	KindDecisionBandwidth
 	// KindDecisionPath: decision Seq saw predicted cost Value (seconds) for
 	// the placement it started from; Name is the critical path's node ids,
@@ -199,6 +205,28 @@ const (
 	// iterations it delivered, Dur its residence time (arrival to
 	// departure).
 	KindTenantDeparted
+
+	// Estimator-accuracy events (internal/estacc): the join of every
+	// bandwidth estimate a placement optimiser consumed with the ground
+	// truth the network model actually delivered.
+
+	// KindEstimateUsed: placement decision Seq (algorithm Name) consumed an
+	// estimate of the Host<->Peer link as seen from viewer host Node. Value
+	// is the estimated bandwidth (bytes/s), Bytes the ground-truth mean
+	// bandwidth over the estimate's remaining validity window (bytes/s,
+	// rounded), Dur the estimate's age at use (ns), Wait the validity
+	// window the truth was averaged over (ns), Startup the simulated time
+	// the producing probe cost (ns; 0 for cache/piggyback), and Aux the
+	// provenance ("probe", "fresh-cache", "piggyback", "stale-fallback" or
+	// "local"). The signed relative error is (Value-truth)/truth.
+	KindEstimateUsed
+	// KindRegimeDetected: the first consumed estimate of the Host<->Peer
+	// link reflecting a true >= 10 % bandwidth regime change (viewer Node,
+	// decision Seq). Dur is the detection lag (ns since the change in the
+	// ground-truth trace, so the change itself happened at At-Dur), Value
+	// the new true level and Bytes the old true level (bytes/s, rounded);
+	// Aux is "up" or "down".
+	KindRegimeDetected
 
 	kindCount // sentinel; keep last
 )
@@ -244,6 +272,8 @@ var kindNames = [kindCount]string{
 	KindHostRecovered:       "host-recovered",
 	KindTenantArrived:       "tenant-arrived",
 	KindTenantDeparted:      "tenant-departed",
+	KindEstimateUsed:        "estimate-used",
+	KindRegimeDetected:      "regime-detected",
 }
 
 var kindByName = func() map[string]Kind {

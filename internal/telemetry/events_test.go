@@ -59,7 +59,7 @@ var kindSamples = map[Kind]Event{
 	KindTransferCut:         {Kind: KindTransferCut, At: 9, Host: 1, Peer: 2, Bytes: 4096, Dur: 50, Wait: 12, Startup: 50},
 	KindMessageDropped:      {Kind: KindMessageDropped, At: 10, Host: 1, Peer: 2, Bytes: 128, Aux: "drop"},
 	KindMessageDuplicated:   {Kind: KindMessageDuplicated, At: 11, Host: 1, Peer: 2, Bytes: 128},
-	KindProbeIssued:         {Kind: KindProbeIssued, At: 12, Host: 0, Peer: 3, Node: 4, Value: 32768},
+	KindProbeIssued:         {Kind: KindProbeIssued, At: 12, Host: 0, Peer: 3, Node: 4, Value: 32768, Dur: 5e8},
 	KindPassiveMeasured:     {Kind: KindPassiveMeasured, At: 13, Host: 0, Peer: 3, Bytes: 65536, Value: 32768},
 	KindDemandSent:          {Kind: KindDemandSent, At: 14, Node: 5, Host: 4, Peer: 2, Iter: 7},
 	KindDataServed:          {Kind: KindDataServed, At: 15, Node: 5, Host: 2, Peer: 4, Iter: 7, Bytes: 131072, Wait: 250},
@@ -78,7 +78,7 @@ var kindSamples = map[Kind]Event{
 	KindOperatorPlaced:      {Kind: KindOperatorPlaced, At: 0, Node: 5, Host: 2, Aux: "operator"},
 	KindImageArrived:        {Kind: KindImageArrived, At: 26, Host: 8, Iter: 7, Bytes: 262144},
 	KindDecisionStart:       {Kind: KindDecisionStart, At: 27, Host: 8, Iter: -1, Seq: 3, Aux: "global"},
-	KindDecisionBandwidth:   {Kind: KindDecisionBandwidth, At: 28, Host: 0, Peer: 3, Value: 32768, Seq: 3, Aux: "cache"},
+	KindDecisionBandwidth:   {Kind: KindDecisionBandwidth, At: 28, Host: 0, Peer: 3, Value: 32768, Seq: 3, Aux: "fresh-cache"},
 	KindDecisionPath:        {Kind: KindDecisionPath, At: 29, Value: 12.5, Seq: 3, Name: "15,14,12,8"},
 	KindDecisionCandidate:   {Kind: KindDecisionCandidate, At: 30, Node: 5, Host: 2, Peer: 3, Iter: 1, Value: 11.25, Seq: 3},
 	KindDecisionMove:        {Kind: KindDecisionMove, At: 31, Node: 5, Host: 2, Peer: 3, Value: 1.25, Seq: 3},
@@ -87,6 +87,8 @@ var kindSamples = map[Kind]Event{
 	KindHostRecovered:       {Kind: KindHostRecovered, At: 34, Host: 2},
 	KindTenantArrived:       {Kind: KindTenantArrived, At: 35, Tenant: 7, Host: 8, Iter: 40, Aux: "global"},
 	KindTenantDeparted:      {Kind: KindTenantDeparted, At: 36, Tenant: 7, Iter: 40, Dur: 120e9, Aux: "completed"},
+	KindEstimateUsed:        {Kind: KindEstimateUsed, At: 37, Host: 0, Peer: 3, Node: 8, Value: 32768, Bytes: 28000, Dur: 12e9, Wait: 28e9, Startup: 4e8, Seq: 3, Name: "global", Aux: "fresh-cache"},
+	KindRegimeDetected:      {Kind: KindRegimeDetected, At: 38, Host: 0, Peer: 3, Node: 8, Dur: 55e9, Value: 16384, Bytes: 32768, Seq: 4, Aux: "down"},
 }
 
 // TestEveryKindFullyWired is the exhaustiveness gate: each Kind (except the

@@ -309,6 +309,28 @@ func (b *perfettoBuilder) add(ev Event) {
 				"candidates": ev.Bytes, "predicted_cost_s": ev.Value,
 			},
 		})
+	case KindEstimateUsed:
+		// Paired counter tracks per consumed link: the estimate the decision
+		// saw vs the ground truth over its validity window, plus the signed
+		// error band in percent.
+		link := fmt.Sprintf("%s-%s", b.hostName(int(ev.Host)), b.hostName(int(ev.Peer)))
+		b.counter(ev.At, "bw-est "+link, int64(ev.Value))
+		b.counter(ev.At, "bw-true "+link, ev.Bytes)
+		if ev.Bytes > 0 {
+			b.counter(ev.At, "est-err% "+link, int64(100*(ev.Value-float64(ev.Bytes))/float64(ev.Bytes)))
+		}
+	case KindRegimeDetected:
+		// Two instants bracket the detection lag: the true change (reconstructed
+		// at At-Dur) and the moment an estimate first reflected it.
+		link := fmt.Sprintf("%s-%s", b.hostName(int(ev.Host)), b.hostName(int(ev.Peer)))
+		b.touchHost(b.runPid)
+		b.events = append(b.events, traceEvent{
+			Name: fmt.Sprintf("regime %s %s", link, ev.Aux), Cat: ev.Kind.String(), Ph: "i",
+			Ts: usec(ev.At - ev.Dur), Pid: b.runPid, Tid: 0, Scope: "g",
+			Args: map[string]any{"from_bps": ev.Bytes, "to_bps": ev.Value},
+		})
+		b.instant(ev, b.runPid, 0, fmt.Sprintf("regime detected %s %s", link, ev.Aux), "g",
+			map[string]any{"lag_ms": float64(ev.Dur) / 1e6, "from_bps": ev.Bytes, "to_bps": ev.Value})
 	case KindCriticalChanged:
 		if b.critical == nil {
 			b.critical = make(map[int32]bool)

@@ -214,6 +214,58 @@ func TestAnalyzeNoChanges(t *testing.T) {
 	}
 }
 
+func TestChangePointsSimple(t *testing.T) {
+	tr := New("x", sim.Second, []Bandwidth{100, 105, 200, 195, 50})
+	cps := tr.ChangePoints(0.10)
+	want := []ChangePoint{
+		{At: 2 * sim.Second, From: 100, To: 200},
+		{At: 4 * sim.Second, From: 200, To: 50},
+	}
+	if len(cps) != len(want) {
+		t.Fatalf("change points = %+v, want %+v", cps, want)
+	}
+	for i := range want {
+		if cps[i] != want[i] {
+			t.Errorf("change point %d = %+v, want %+v", i, cps[i], want[i])
+		}
+	}
+}
+
+func TestChangePointsNone(t *testing.T) {
+	if cps := Constant("c", 100).ChangePoints(0.10); len(cps) != 0 {
+		t.Errorf("constant trace has change points: %+v", cps)
+	}
+}
+
+// TestChangePointsMatchAnalyze pins the contract the estimator-accuracy layer
+// depends on: the ground-truth regime-change schedule exposed by ChangePoints
+// is exactly the statistic Analyze counts, on real generated traces.
+func TestChangePointsMatchAnalyze(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		tr := Generate("g", seed, DefaultGenParams(pairBase(USEast, Spain)))
+		cps := tr.ChangePoints(0.10)
+		st := Analyze(tr, 0.10)
+		if len(cps) != st.SignificantChanges {
+			t.Errorf("seed %d: %d change points vs %d significant changes",
+				seed, len(cps), st.SignificantChanges)
+		}
+		// The schedule must be strictly ordered and each point a real
+		// >= 10 % departure from the previous level.
+		for i, cp := range cps {
+			if i > 0 && cp.At <= cps[i-1].At {
+				t.Fatalf("seed %d: change points out of order at %d", seed, i)
+			}
+			if f, l := float64(cp.To), float64(cp.From); math.Abs(f-l)/l < 0.10 {
+				t.Errorf("seed %d: change point %d is below threshold: %+v", seed, i, cp)
+			}
+			if tr.At(cp.At) != cp.To {
+				t.Errorf("seed %d: change point %d To %v disagrees with trace %v",
+					seed, i, cp.To, tr.At(cp.At))
+			}
+		}
+	}
+}
+
 func TestVariationSeries(t *testing.T) {
 	tr := New("x", sim.Second, []Bandwidth{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
 	times, bws := VariationSeries(tr, 2*sim.Second, 4*sim.Second, 100)

@@ -55,23 +55,45 @@ func Analyze(tr *Trace, threshold float64) Stats {
 		s.CoV = float64(s.StdDev) / mean
 	}
 
-	// Count level shifts: a change is significant when the sample departs by
-	// >= threshold from the last significant level; that sample becomes the
-	// new reference level.
-	level := float64(tr.samples[0])
-	for _, v := range tr.samples[1:] {
-		f := float64(v)
-		if level > 0 && math.Abs(f-level)/level >= threshold {
-			s.SignificantChanges++
-			level = f
-		}
-	}
+	s.SignificantChanges = len(tr.ChangePoints(threshold))
 	if s.SignificantChanges > 0 {
 		s.SignificantChangeInterval = tr.Duration().Duration() / time.Duration(s.SignificantChanges)
 	} else {
 		s.SignificantChangeInterval = tr.Duration().Duration()
 	}
 	return s
+}
+
+// ChangePoint is one significant bandwidth regime change in a trace: at time
+// At the trace departed from the previous significant level From to the new
+// level To.
+type ChangePoint struct {
+	At       sim.Time
+	From, To Bandwidth
+}
+
+// ChangePoints returns the trace's significant (>= threshold fractional)
+// bandwidth changes using the paper's level-walk statistic: a change is
+// significant when a sample departs by at least the threshold fraction from
+// the last significant level, and that sample becomes the new reference
+// level. This is the seeded ground-truth regime-change schedule that
+// detection-lag measurements (internal/estacc) and Analyze's
+// SignificantChanges count are both defined against.
+func (tr *Trace) ChangePoints(threshold float64) []ChangePoint {
+	var cps []ChangePoint
+	level := float64(tr.samples[0])
+	for i, v := range tr.samples[1:] {
+		f := float64(v)
+		if level > 0 && math.Abs(f-level)/level >= threshold {
+			cps = append(cps, ChangePoint{
+				At:   tr.interval * sim.Time(i+1),
+				From: Bandwidth(level),
+				To:   v,
+			})
+			level = f
+		}
+	}
+	return cps
 }
 
 // VariationSeries returns (time, bandwidth) pairs covering window starting at
