@@ -19,7 +19,10 @@
 // host-process performance report (per-subsystem wall-time shares,
 // events/sec), -perf-out writes it as JSON for `simscope perf`, -progress
 // prints a heartbeat to stderr, and -cpuprofile/-memprofile capture pprof
-// profiles labelled by subsystem and tenant.
+// profiles labelled by subsystem and tenant. -allocs prints an alloc-site
+// report (every allocation attributed to the subsystem that made it, joined
+// against the //lint:allocbudget declarations), and -allocs-out writes it
+// as JSON for `simscope allocs`.
 package main
 
 import (
@@ -31,8 +34,10 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"wadc/internal/analysis"
 	"wadc/internal/core"
 	"wadc/internal/experiment"
+	"wadc/internal/lint"
 	"wadc/internal/metrics"
 	"wadc/internal/obs"
 	"wadc/internal/telemetry"
@@ -66,6 +71,8 @@ func main() {
 		progress   = flag.Duration("progress", 0, "print a progress heartbeat to stderr at this interval (e.g. 2s; 0 disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (pprof-labelled by subsystem and tenant) to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile captured after the run to this file")
+		allocs     = flag.Bool("allocs", false, "print an alloc-site report: every allocation attributed to its subsystem, joined against the declared //lint:allocbudget budgets")
+		allocsOut  = flag.String("allocs-out", "", "write the alloc-site report as JSON to this file (render with `simscope allocs`)")
 	)
 	flag.Parse()
 
@@ -78,6 +85,7 @@ func main() {
 		{"-perf-out", *perfOut},
 		{"-cpuprofile", *cpuProfile},
 		{"-memprofile", *memProfile},
+		{"-allocs-out", *allocsOut},
 	} {
 		if out.path == "" {
 			continue
@@ -144,6 +152,7 @@ func main() {
 			traceOut: *traceOut, eventsOut: *eventsOut, metricsOut: *metricsOut,
 			perf: *perf, perfOut: *perfOut, perfRec: perfRec,
 			heartbeat: heartbeat, stopProfiles: stopProfiles,
+			allocs: *allocs, allocsOut: *allocsOut,
 		})
 		return
 	}
@@ -162,6 +171,7 @@ func main() {
 		Telemetry:      sink,
 		CollectMetrics: *metricsOut != "",
 		TrackEstimates: *estimates,
+		TrackAllocs:    *allocs || *allocsOut != "",
 		Perf:           perfRec,
 	})
 	stopProfiles()
@@ -237,6 +247,7 @@ func main() {
 		}
 	}
 	emitPerfReport(res.Perf, *perf, *perfOut)
+	emitAllocReport(res.AllocSites, *allocs, *allocsOut)
 }
 
 // multiOpts carries the flag set into multi-tenant mode.
@@ -263,6 +274,8 @@ type multiOpts struct {
 	perfRec      *obs.Recorder
 	heartbeat    *obs.Progress
 	stopProfiles func()
+	allocs       bool
+	allocsOut    string
 }
 
 // runMultiTenant runs N concurrent query trees on the shared network and
@@ -293,6 +306,7 @@ func runMultiTenant(o multiOpts) {
 		Telemetry:      o.sink,
 		CollectMetrics: o.metricsOut != "",
 		TrackEstimates: o.estimates,
+		TrackAllocs:    o.allocs || o.allocsOut != "",
 		Perf:           o.perfRec,
 	})
 	o.stopProfiles()
@@ -376,6 +390,7 @@ func runMultiTenant(o multiOpts) {
 		fmt.Print(ttbl)
 	}
 	emitPerfReport(res.Perf, o.perf, o.perfOut)
+	emitAllocReport(res.AllocSites, o.allocs, o.allocsOut)
 }
 
 // emitPerfReport prints and/or writes the host-process performance report;
@@ -393,6 +408,53 @@ func emitPerfReport(rep *obs.Report, print bool, outPath string) {
 			fmt.Fprintf(os.Stderr, "combine: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// emitAllocReport prints and/or writes the alloc-site report. The printed
+// form includes the budget-verification join when the annotated source tree
+// (the enclosing Go module) is reachable from the working directory; the
+// JSON form carries only the measured profile so it stays reproducible.
+func emitAllocReport(rep *obs.AllocReport, print bool, outPath string) {
+	if rep == nil {
+		return
+	}
+	if print {
+		fmt.Println()
+		fmt.Print(rep.Format(20))
+		if root := findModuleRoot(); root == "" {
+			fmt.Println("budget verification skipped: no go.mod above the working directory")
+		} else if budgets, err := lint.CollectBudgets(root); err != nil {
+			fmt.Fprintf(os.Stderr, "combine: collecting budgets: %v\n", err)
+		} else {
+			v := analysis.VerifyBudgets(rep, budgets, 10)
+			analysis.WriteAllocVerification(os.Stdout, v, rep)
+		}
+	}
+	if outPath != "" {
+		if err := writeFile(outPath, func(f *os.File) error { return rep.WriteJSON(f) }); err != nil {
+			fmt.Fprintf(os.Stderr, "combine: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// directory containing go.mod, or returns "".
+func findModuleRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
 	}
 }
 

@@ -44,8 +44,17 @@
 //	simscope perf [-csv out.csv] perf.json
 //	    Where did the host process spend its time? Renders a performance
 //	    report written by `combine -perf-out`: per-subsystem wall-time
-//	    shares, events/sec, transfers and MB/s, allocations and peak heap.
-//	    -csv exports the same report as CSV.
+//	    shares, events/sec, transfers and MB/s, allocations and peak heap,
+//	    GC cycles and pause quantiles. -csv exports the same report as CSV.
+//
+//	simscope allocs [-csv out.csv] [-top N] [-src dir] allocs.json
+//	    Where does the run allocate? Renders an alloc-site report written
+//	    by `combine -allocs-out` (or the bench capture): the ranked hot-site
+//	    table with subsystem attribution, per-op rates, coverage and GC
+//	    stats — then joins the sites against the //lint:allocbudget
+//	    declarations in the source tree (-src, default: the enclosing
+//	    module), confirming each budget empirically and listing the hottest
+//	    unbudgeted sites as pooling candidates. -csv exports the site table.
 //
 // Exit codes: 0 success, 1 runtime error (unreadable or malformed log),
 // 2 usage error, 3 diff divergence.
@@ -60,6 +69,7 @@ import (
 	"path/filepath"
 
 	"wadc/internal/analysis"
+	"wadc/internal/lint"
 	"wadc/internal/obs"
 	"wadc/internal/telemetry"
 )
@@ -100,6 +110,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = derr
 	case "perf":
 		err = cmdPerf(args[1:], stdout)
+	case "allocs":
+		err = cmdAllocs(args[1:], stdout)
 	default:
 		fmt.Fprintf(stderr, "simscope: unknown command %q\n\n", args[0])
 		usage(stderr)
@@ -126,6 +138,7 @@ func usage(w io.Writer) {
   simscope estimator [-csv out.csv] [-tenant id] <run.jsonl>
   simscope diff <a.jsonl> <b.jsonl>
   simscope perf [-csv out.csv] <perf.json>
+  simscope allocs [-csv out.csv] [-top N] [-src dir] <allocs.json>
 `)
 }
 
@@ -322,6 +335,82 @@ func cmdPerf(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+func cmdAllocs(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("allocs", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	csvPath := fs.String("csv", "", "write the ranked site table as CSV to this path")
+	top := fs.Int("top", 20, "number of sites to print")
+	src := fs.String("src", "", "module root holding the //lint:allocbudget annotations (default: the module enclosing the working directory)")
+	if err := fs.Parse(args); err != nil {
+		return usageError(err.Error())
+	}
+	if fs.NArg() != 1 {
+		return usageError(fmt.Sprintf("allocs wants exactly one report, got %d", fs.NArg()))
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, rerr := obs.ReadAllocReport(f)
+	f.Close()
+	if rerr != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), rerr)
+	}
+	fmt.Fprintf(stdout, "== %s ==\n", filepath.Base(fs.Arg(0)))
+	fmt.Fprint(stdout, rep.Format(*top))
+
+	// The budget join needs the annotated source; without it the site table
+	// above still stands on its own.
+	root := *src
+	if root == "" {
+		root = findModuleRoot()
+	}
+	if root == "" {
+		fmt.Fprintln(stdout, "budget verification skipped: no go.mod found (point -src at the module root)")
+	} else {
+		budgets, err := lint.CollectBudgets(root)
+		if err != nil {
+			return fmt.Errorf("collecting budgets under %s: %w", root, err)
+		}
+		v := analysis.VerifyBudgets(rep, budgets, 10)
+		analysis.WriteAllocVerification(stdout, v, rep)
+	}
+
+	if *csvPath != "" {
+		cf, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteCSV(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// directory containing go.mod, or returns "".
+func findModuleRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
 }
 
 func cmdDiff(args []string, stdout io.Writer) (bool, error) {

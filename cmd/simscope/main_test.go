@@ -297,6 +297,101 @@ func TestPerfBadInput(t *testing.T) {
 	}
 }
 
+// writeAllocReport writes a small alloc-site report whose sites reference
+// real budgeted functions in this repository, so the -src join against the
+// repo root exercises the full verification path.
+func writeAllocReport(t *testing.T) string {
+	t.Helper()
+	rep := &obs.AllocReport{
+		Ops: 8, ProfileRate: 1,
+		TotalAllocs: 1000, TotalBytes: 80_000,
+		SampledAllocs: 980, SampledBytes: 79_000,
+		Subsystems: []obs.AllocSubsystem{
+			{Name: "sim", Allocs: 700, Bytes: 50_000, Share: 0.7},
+			{Name: "monitor", Allocs: 300, Bytes: 30_000, Share: 0.3},
+		},
+		Sites: []obs.AllocSite{
+			{Func: "wadc/internal/sim.(*Kernel).schedule", File: "internal/sim/kernel.go",
+				Line: 210, Subsystem: "sim", Allocs: 700, Bytes: 50_000},
+			{Func: "wadc/internal/monitor.(*Cache).freshest", File: "internal/monitor/monitor.go",
+				Line: 195, Subsystem: "monitor", Allocs: 300, Bytes: 30_000},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "allocs.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAllocsSubcommand(t *testing.T) {
+	path := writeAllocReport(t)
+	csvPath := filepath.Join(t.TempDir(), "sites.csv")
+	// -src ../.. is the repo root: the join collects the real
+	// //lint:allocbudget annotations and verifies them against the report.
+	code, stdout, stderr := runCLI("allocs", "-top", "1", "-csv", csvPath, "-src", filepath.Join("..", ".."), path)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+	for _, want := range []string{
+		"allocation-site report",
+		"98.0% attributed to 2 sites",
+		"125.0 allocs/op",
+		"sim                 700   70.0%",
+		"wadc/internal/sim.(*Kernel).schedule (internal/sim/kernel.go:210)",
+		"... 1 more sites",
+		"budget verification:",
+		"[confirmed  ] wadc/internal/sim.(*Kernel).schedule: 1 site(s) observed",
+		"pooling candidates",
+		"wadc/internal/monitor.(*Cache).freshest",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output lacks %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want header + 2 sites:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "rank,subsystem,func,file,line,") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,sim,wadc/internal/sim.(*Kernel).schedule,") {
+		t.Errorf("csv top site = %q", lines[1])
+	}
+}
+
+func TestAllocsBadInput(t *testing.T) {
+	if code, _, _ := runCLI("allocs"); code != 2 {
+		t.Errorf("no args: exit = %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI("allocs", bad); code != 1 {
+		t.Errorf("malformed report: exit = %d, want 1", code)
+	}
+	// A -src tree without go.mod is a runtime error, not a silent skip: the
+	// user asked for that tree specifically.
+	good := writeAllocReport(t)
+	code, _, stderr := runCLI("allocs", "-src", t.TempDir(), good)
+	if code != 1 {
+		t.Errorf("budget-less -src: exit = %d, want 1, stderr = %q", code, stderr)
+	}
+}
+
 func TestCritPathEmptyLog(t *testing.T) {
 	log := writeLog(t, "empty.jsonl", []telemetry.Event{
 		{Kind: telemetry.KindDemandSent, At: 0, Node: 2},

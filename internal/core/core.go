@@ -124,6 +124,13 @@ type RunConfig struct {
 	// observational — a run with Perf attached produces byte-identical
 	// artifacts to the same run without it.
 	Perf *obs.Recorder
+	// TrackAllocs brackets the run with exhaustive allocation profiling
+	// (runtime.MemProfileRate = 1) and attaches the symbolized alloc-site
+	// table and GC stats as RunResult.AllocSites. Expensive — every heap
+	// allocation is sampled — and strictly observational: the simulated
+	// outcome is byte-identical with it on or off, and a run without it
+	// never touches the profiler.
+	TrackAllocs bool
 }
 
 // RunResult is the outcome of one run.
@@ -161,6 +168,9 @@ type RunResult struct {
 	// Perf is the finalized host-process performance report (nil unless
 	// RunConfig.Perf was set).
 	Perf *obs.Report
+	// AllocSites is the run's attributed allocation profile (nil unless
+	// RunConfig.TrackAllocs was set).
+	AllocSites *obs.AllocReport
 	// Estimator summarises estimator-accuracy tracking (zero unless
 	// RunConfig.TrackEstimates was set with a telemetry sink).
 	Estimator estacc.Stats
@@ -176,6 +186,15 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	if cfg.Policy == nil {
 		return RunResult{}, fmt.Errorf("core: Policy is required")
+	}
+
+	// The alloc capture brackets everything the run does — assembly, kernel
+	// loop, result construction — so a hot site anywhere in the cell is
+	// attributed. Armed only on request; a run without it never touches the
+	// profiler.
+	var allocCap *obs.AllocCapture
+	if cfg.TrackAllocs {
+		allocCap = obs.StartAllocCapture()
 	}
 
 	kOpts := []sim.Option{sim.WithSeed(cfg.Seed)}
@@ -313,5 +332,8 @@ func Run(cfg RunConfig) (RunResult, error) {
 		res.Perf = cfg.Perf.Report()
 	}
 	res.Estimator = inst.Acc.Stats()
+	if allocCap != nil {
+		res.AllocSites = allocCap.Finish(int64(len(res.Arrivals)))
+	}
 	return res, nil
 }

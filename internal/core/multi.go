@@ -66,6 +66,10 @@ type MultiConfig struct {
 	// MultiResult.Perf. Purely observational: artifacts are byte-identical
 	// with or without it.
 	Perf *obs.Recorder
+	// TrackAllocs brackets the run with exhaustive allocation profiling
+	// (see RunConfig.TrackAllocs); RunMulti attaches the attributed site
+	// table as MultiResult.AllocSites.
+	TrackAllocs bool
 }
 
 // TenantResult is one tenant's outcome within a multi-tenant run.
@@ -130,6 +134,10 @@ type MultiResult struct {
 	// Perf is the finalized host-process performance report (nil unless
 	// MultiConfig.Perf was set).
 	Perf *obs.Report
+	// AllocSites is the run's attributed allocation profile (nil unless
+	// MultiConfig.TrackAllocs was set). Ops counts delivered iterations
+	// across all tenants.
+	AllocSites *obs.AllocReport
 	// Estimator summarises estimator-accuracy tracking across all tenants
 	// (zero unless MultiConfig.TrackEstimates was set with a telemetry sink).
 	Estimator estacc.Stats
@@ -177,6 +185,12 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 			return MultiResult{}, fmt.Errorf("core: duplicate tenant ID %d", sp.ID)
 		}
 		seen[sp.ID] = true
+	}
+
+	// See RunConfig.TrackAllocs: bracket everything the run does.
+	var allocCap *obs.AllocCapture
+	if cfg.TrackAllocs {
+		allocCap = obs.StartAllocCapture()
 	}
 
 	kOpts := []sim.Option{sim.WithSeed(cfg.Seed)}
@@ -354,6 +368,13 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 		res.Perf = cfg.Perf.Report()
 	}
 	res.Estimator = acc.Stats()
+	if allocCap != nil {
+		var delivered int64
+		for _, t := range res.Tenants {
+			delivered += int64(t.Delivered)
+		}
+		res.AllocSites = allocCap.Finish(delivered)
+	}
 	return res, nil
 }
 

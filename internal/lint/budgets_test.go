@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBudgetTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestCollectBudgets(t *testing.T) {
+	root := writeBudgetTree(t, map[string]string{
+		"go.mod": "module example.com/mod\n\ngo 1.22\n",
+		"internal/sim/kernel.go": `package sim
+
+// schedule picks the next process.
+//
+//lint:hotpath
+//lint:allocbudget 4 heap siftdown buffers
+func (k *Kernel) schedule() {}
+
+type Kernel struct{}
+
+//lint:allocbudget 1 one closure per send
+func (k Kernel) Send() {}
+
+//lint:allocbudget bogus not-a-number
+func malformed() {}
+
+func unannotated() {}
+`,
+		"root.go": `package mod
+
+//lint:allocbudget 0 steady state is allocation-free
+func Top() {}
+`,
+		"internal/sim/kernel_test.go": `package sim
+
+//lint:allocbudget 9 test files are skipped
+func testOnly() {}
+`,
+		"testdata/skip.go": `package skip
+
+//lint:allocbudget 9 testdata is skipped
+func Skipped() {}
+`,
+	})
+
+	budgets, err := CollectBudgets(root)
+	if err != nil {
+		t.Fatalf("CollectBudgets: %v", err)
+	}
+	want := []Budget{
+		{Func: "example.com/mod/internal/sim.(*Kernel).schedule",
+			File: "internal/sim/kernel.go", Line: 7, Budget: 4, Reason: "heap siftdown buffers"},
+		{Func: "example.com/mod/internal/sim.Kernel.Send",
+			File: "internal/sim/kernel.go", Line: 12, Budget: 1, Reason: "one closure per send"},
+		{Func: "example.com/mod.Top",
+			File: "root.go", Line: 4, Budget: 0, Reason: "steady state is allocation-free"},
+	}
+	if len(budgets) != len(want) {
+		t.Fatalf("got %d budgets, want %d: %+v", len(budgets), len(want), budgets)
+	}
+	for i, w := range want {
+		if budgets[i] != w {
+			t.Errorf("budget[%d] = %+v, want %+v", i, budgets[i], w)
+		}
+	}
+}
+
+func TestCollectBudgetsNoModule(t *testing.T) {
+	if _, err := CollectBudgets(t.TempDir()); err == nil {
+		t.Fatal("CollectBudgets without go.mod succeeded, want error")
+	}
+}
+
+// TestCollectBudgetsRepo pins the repository's own annotation set: every
+// budget the runtime verification pass must confirm resolves to a
+// runtime-style symbol here.
+func TestCollectBudgetsRepo(t *testing.T) {
+	budgets, err := CollectBudgets(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("CollectBudgets(repo): %v", err)
+	}
+	if len(budgets) < 10 {
+		t.Fatalf("repo has %d budgets, want >= 10: %+v", len(budgets), budgets)
+	}
+	byFunc := make(map[string]int)
+	for _, b := range budgets {
+		byFunc[b.Func] = b.Budget
+	}
+	for fn, budget := range map[string]int{
+		"wadc/internal/sim.(*Kernel).schedule":   4,
+		"wadc/internal/netmodel.(*Network).Send": 3,
+	} {
+		got, ok := byFunc[fn]
+		if !ok {
+			t.Errorf("repo budgets missing %s", fn)
+		} else if got != budget {
+			t.Errorf("budget for %s = %d, want %d", fn, got, budget)
+		}
+	}
+}

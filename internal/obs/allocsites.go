@@ -1,0 +1,431 @@
+// Alloc-site capture: the memory half of the observability layer. An
+// AllocCapture brackets a run with runtime.MemProfile snapshots taken at
+// profile rate 1 (every heap allocation sampled), differences them, and
+// symbolizes the delta into a ranked table of allocation sites attributed
+// to the simulator's subsystem taxonomy. Together with the GC telemetry in
+// gcstats.go it answers the question the speed arc needs answered before
+// any pooling work: *which line* allocates, *how much*, and *what the
+// collector charges for it*.
+//
+// Like every obs facility it is strictly observational and opt-in: nothing
+// in any hot path ever calls into this file — capture wraps a run from the
+// outside, so the disabled path is not merely zero-alloc, it is zero-code.
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AllocSite is one allocation site: a (function, file, line) triple with the
+// allocation objects/bytes attributed to it over the capture window.
+type AllocSite struct {
+	// Func is the runtime symbol of the attributed frame, e.g.
+	// "wadc/internal/sim.(*Kernel).schedule". Attribution prefers the
+	// innermost module frame of the stack, so an allocation inside
+	// fmt.Sprintf is charged to the simulator function that called it.
+	Func string `json:"func"`
+	// File is the attributed frame's source file, trimmed repo-relative.
+	File string `json:"file"`
+	// Line is the attributed frame's line.
+	Line int `json:"line"`
+	// Leaf names the non-module function that performed the allocation
+	// when it differs from Func (e.g. "fmt.Sprintf"); empty otherwise.
+	Leaf string `json:"leaf,omitempty"`
+	// Subsystem is the memory-taxonomy label of the site: one of
+	// sim, netmodel, dataflow, recovery, placement, monitor, telemetry,
+	// other.
+	Subsystem string `json:"subsystem"`
+	// Allocs and Bytes are the window's sampled allocation count and size.
+	Allocs int64 `json:"allocs"`
+	Bytes  int64 `json:"bytes"`
+}
+
+// AllocSubsystem is the per-subsystem rollup of the site table.
+type AllocSubsystem struct {
+	Name   string  `json:"name"`
+	Allocs int64   `json:"allocs"`
+	Bytes  int64   `json:"bytes"`
+	Share  float64 `json:"share"` // of all sampled allocations
+}
+
+// AllocReport is the result of one alloc-site capture: the ranked hot-site
+// table, the per-subsystem rollup, totals from runtime.MemStats (the same
+// accounting benchmarks report as allocs/op), and the window's GC activity.
+type AllocReport struct {
+	// Ops is the number of work units the window covered (iterations,
+	// benchmark ops); 0 means unknown. Per-op rates divide by it.
+	Ops int64 `json:"ops,omitempty"`
+	// ProfileRate is the runtime.MemProfileRate in effect (1 = exhaustive).
+	ProfileRate int `json:"profile_rate"`
+	// TotalAllocs / TotalBytes are the MemStats deltas over the window —
+	// the exact counters behind a benchmark's allocs/op and B/op.
+	TotalAllocs int64 `json:"total_allocs"`
+	TotalBytes  int64 `json:"total_bytes"`
+	// SampledAllocs / SampledBytes sum the site table. Coverage compares
+	// them to the MemStats totals; at rate 1 the two agree to within the
+	// tiny-allocator's batching.
+	SampledAllocs int64 `json:"sampled_allocs"`
+	SampledBytes  int64 `json:"sampled_bytes"`
+	// Subsystems is the taxonomy rollup, ranked by allocations.
+	Subsystems []AllocSubsystem `json:"subsystems"`
+	// Sites is the site table, ranked by allocations then bytes.
+	Sites []AllocSite `json:"sites"`
+	// GC is the window's collector activity.
+	GC *GCStats `json:"gc,omitempty"`
+}
+
+// Coverage is the fraction of MemStats-counted allocations the site table
+// attributes to named sites.
+func (r *AllocReport) Coverage() float64 {
+	if r.TotalAllocs <= 0 {
+		return 0
+	}
+	c := float64(r.SampledAllocs) / float64(r.TotalAllocs)
+	if c > 1 {
+		c = 1 // profile read-back races MemStats by a handful of allocations
+	}
+	return c
+}
+
+// modulePrefix anchors site attribution and subsystem classification to this
+// codebase's frames.
+const modulePrefix = "wadc/"
+
+// MemSubsystem maps an attributed frame to the memory-observability
+// subsystem taxonomy. It extends the region clock's labels with monitor and
+// telemetry (which the wall-clock regions fold into their callers) and
+// splits dataflow's recovery layer out by file, because pooling decisions
+// differ between the steady-state engine and the fault path.
+func MemSubsystem(fn, file string) string {
+	switch {
+	case strings.HasPrefix(fn, modulePrefix+"internal/sim."):
+		return "sim"
+	case strings.HasPrefix(fn, modulePrefix+"internal/netmodel."):
+		return "netmodel"
+	case strings.HasPrefix(fn, modulePrefix+"internal/dataflow."):
+		if strings.HasSuffix(file, "recovery.go") {
+			return "recovery"
+		}
+		return "dataflow"
+	case strings.HasPrefix(fn, modulePrefix+"internal/placement."),
+		strings.HasPrefix(fn, modulePrefix+"internal/plan."):
+		return "placement"
+	case strings.HasPrefix(fn, modulePrefix+"internal/monitor."):
+		return "monitor"
+	case strings.HasPrefix(fn, modulePrefix+"internal/telemetry."):
+		return "telemetry"
+	default:
+		return "other"
+	}
+}
+
+// allocCounts is one stack's sampled allocation totals.
+type allocCounts struct{ objs, bytes int64 }
+
+// allocKey is a MemProfileRecord stack used as a map key.
+type allocKey [32]uintptr
+
+// AllocCapture brackets a run with exhaustive allocation profiling. Arm it
+// with StartAllocCapture before the run, call Finish after; the window in
+// between is attributed. Captures nest poorly (MemProfileRate is global
+// state), so hold at most one at a time.
+type AllocCapture struct {
+	prevRate  int
+	records   []runtime.MemProfileRecord
+	baseline  map[allocKey]allocCounts
+	baseStats runtime.MemStats
+	gcBase    gcSnapshot
+	finished  bool
+}
+
+// StartAllocCapture raises runtime.MemProfileRate to 1 (every allocation
+// sampled) and snapshots the current profile as the baseline. The MemStats
+// baseline is read last, so the capture's own setup allocations stay out of
+// the window's denominator.
+func StartAllocCapture() *AllocCapture {
+	c := &AllocCapture{prevRate: runtime.MemProfileRate}
+	runtime.MemProfileRate = 1
+	// The runtime publishes profile records at GC cycle boundaries; force a
+	// cycle so pre-window allocations land in the baseline, not the window.
+	runtime.GC()
+	c.records = readMemProfile(nil)
+	c.baseline = make(map[allocKey]allocCounts, len(c.records))
+	for i := range c.records {
+		rec := &c.records[i]
+		c.baseline[rec.Stack0] = allocCounts{rec.AllocObjects, rec.AllocBytes}
+	}
+	c.gcBase = readGCSnapshot()
+	runtime.ReadMemStats(&c.baseStats)
+	return c
+}
+
+// Finish snapshots the profile again, restores the previous profile rate,
+// and returns the window's attributed report. ops sets AllocReport.Ops
+// (0 = unknown). Finish is one-shot; later calls return nil.
+func (c *AllocCapture) Finish(ops int64) *AllocReport {
+	if c == nil || c.finished {
+		return nil
+	}
+	c.finished = true
+	// MemStats first: the profile read-back's own slice growth must not
+	// inflate the denominator the coverage figure divides by.
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	gcEnd := readGCSnapshot()
+	// Flush the window's records into the profile (published at GC cycle
+	// boundaries) — after the MemStats and GC snapshots, so the forced
+	// cycle pollutes neither the denominator nor the window's GC stats.
+	runtime.GC()
+	c.records = readMemProfile(c.records)
+	runtime.MemProfileRate = c.prevRate
+
+	// Difference against the baseline, then aggregate stacks that share an
+	// attributed frame into one site.
+	type siteKey struct {
+		fn, file string
+		line     int
+		leaf     string
+	}
+	agg := make(map[siteKey]allocCounts)
+	for i := range c.records {
+		rec := &c.records[i]
+		d := allocCounts{rec.AllocObjects, rec.AllocBytes}
+		if base, ok := c.baseline[rec.Stack0]; ok {
+			d.objs -= base.objs
+			d.bytes -= base.bytes
+		}
+		if d.objs <= 0 {
+			continue
+		}
+		fn, file, line, leaf := attributeStack(rec.Stack())
+		k := siteKey{fn: fn, file: file, line: line, leaf: leaf}
+		cur := agg[k]
+		cur.objs += d.objs
+		cur.bytes += d.bytes
+		agg[k] = cur
+	}
+
+	rep := &AllocReport{
+		Ops:         ops,
+		ProfileRate: 1,
+		TotalAllocs: int64(end.Mallocs - c.baseStats.Mallocs),
+		TotalBytes:  int64(end.TotalAlloc - c.baseStats.TotalAlloc),
+		GC:          gcEnd.delta(c.gcBase),
+	}
+	sites := make([]AllocSite, 0, len(agg))
+	for k, v := range agg {
+		sites = append(sites, AllocSite{
+			Func: k.fn, File: k.file, Line: k.line, Leaf: k.leaf,
+			Allocs: v.objs, Bytes: v.bytes,
+		})
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if a.Allocs != b.Allocs {
+			return a.Allocs > b.Allocs
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes > b.Bytes
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Line < b.Line
+	})
+	subTotals := make(map[string]*AllocSubsystem)
+	var subOrder []string
+	for i := range sites {
+		s := &sites[i]
+		s.Subsystem = MemSubsystem(s.Func, s.File)
+		rep.SampledAllocs += s.Allocs
+		rep.SampledBytes += s.Bytes
+		sub := subTotals[s.Subsystem]
+		if sub == nil {
+			sub = &AllocSubsystem{Name: s.Subsystem}
+			subTotals[s.Subsystem] = sub
+			subOrder = append(subOrder, s.Subsystem)
+		}
+		sub.Allocs += s.Allocs
+		sub.Bytes += s.Bytes
+	}
+	rep.Sites = sites
+	sort.Strings(subOrder)
+	for _, name := range subOrder {
+		sub := *subTotals[name]
+		if rep.SampledAllocs > 0 {
+			sub.Share = float64(sub.Allocs) / float64(rep.SampledAllocs)
+		}
+		rep.Subsystems = append(rep.Subsystems, sub)
+	}
+	sort.SliceStable(rep.Subsystems, func(i, j int) bool {
+		return rep.Subsystems[i].Allocs > rep.Subsystems[j].Allocs
+	})
+	return rep
+}
+
+// readMemProfile reads the full allocation profile, reusing buf when it is
+// big enough. The slice is kept with headroom so the Finish-time read
+// usually costs zero allocations of its own.
+func readMemProfile(buf []runtime.MemProfileRecord) []runtime.MemProfileRecord {
+	for {
+		n, ok := runtime.MemProfile(nil, true)
+		if !ok {
+			n *= 2 // raced a profile grow; oversize and retry below
+		}
+		if cap(buf) < n+n/4+64 {
+			buf = make([]runtime.MemProfileRecord, n+n/4+64)
+		}
+		buf = buf[:cap(buf)]
+		n, ok = runtime.MemProfile(buf, true)
+		if ok {
+			return buf[:n]
+		}
+	}
+}
+
+// attributeStack picks the frame an allocation is charged to: the innermost
+// module frame if the stack has one (so stdlib helpers charge their caller),
+// otherwise the innermost non-runtime frame. leaf reports the skipped
+// non-module allocator when it differs from the chosen frame.
+func attributeStack(stk []uintptr) (fn, file string, line int, leaf string) {
+	if len(stk) == 0 {
+		return "(unknown)", "", 0, ""
+	}
+	frames := runtime.CallersFrames(stk)
+	for {
+		f, more := frames.Next()
+		if f.Function != "" && !strings.HasPrefix(f.Function, "runtime.") {
+			if strings.HasPrefix(f.Function, modulePrefix) {
+				if fn == "" {
+					return f.Function, trimSourcePath(f.File), f.Line, ""
+				}
+				return f.Function, trimSourcePath(f.File), f.Line, fn
+			}
+			if fn == "" { // remember the innermost non-runtime frame
+				fn, file, line = f.Function, trimSourcePath(f.File), f.Line
+			}
+		}
+		if !more {
+			break
+		}
+	}
+	if fn == "" {
+		return "(runtime)", "", 0, ""
+	}
+	return fn, file, line, ""
+}
+
+// trimSourcePath shortens an absolute source path to something stable across
+// machines: repo-relative for module files, package-relative for stdlib.
+func trimSourcePath(file string) string {
+	for _, marker := range []string{"/internal/", "/cmd/", "/examples/"} {
+		if i := strings.LastIndex(file, marker); i >= 0 {
+			return file[i+1:]
+		}
+	}
+	if i := strings.LastIndex(file, "/"); i >= 0 {
+		if j := strings.LastIndex(file[:i], "/"); j >= 0 {
+			return file[j+1:]
+		}
+	}
+	return file
+}
+
+// Format renders the report's human-readable block: totals, coverage, GC
+// summary, subsystem rollup, and the top sites. top bounds the site table
+// (<= 0 means 20).
+func (r *AllocReport) Format(top int) string {
+	if top <= 0 {
+		top = 20
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "allocation-site report (profile rate %d)\n", r.ProfileRate)
+	fmt.Fprintf(&b, "  allocations    %s (%s); %.1f%% attributed to %d sites\n",
+		withCommas(r.TotalAllocs), humanBytes(uint64(r.TotalBytes)),
+		r.Coverage()*100, len(r.Sites))
+	if r.Ops > 0 {
+		fmt.Fprintf(&b, "  per op         %.1f allocs/op, %s/op over %s ops\n",
+			float64(r.TotalAllocs)/float64(r.Ops),
+			humanBytes(uint64(r.TotalBytes/r.Ops)), withCommas(r.Ops))
+	}
+	if r.GC != nil {
+		fmt.Fprintf(&b, "  gc             %s\n", r.GC.Summary())
+		fmt.Fprintf(&b, "                 heap goal %s, live %s, stacks %s\n",
+			humanBytes(r.GC.HeapGoalBytes), humanBytes(r.GC.HeapLiveBytes),
+			humanBytes(r.GC.StackBytes))
+	}
+	fmt.Fprintf(&b, "  subsystem allocation shares:\n")
+	for _, sub := range r.Subsystems {
+		fmt.Fprintf(&b, "    %-10s %12s  %5.1f%%  %10s\n",
+			sub.Name, withCommas(sub.Allocs), sub.Share*100, humanBytes(uint64(sub.Bytes)))
+	}
+	fmt.Fprintf(&b, "  top sites by allocations:\n")
+	fmt.Fprintf(&b, "    %12s  %10s  %-9s  site\n", "allocs", "bytes", "subsystem")
+	for i, s := range r.Sites {
+		if i >= top {
+			fmt.Fprintf(&b, "    ... %d more sites\n", len(r.Sites)-top)
+			break
+		}
+		name := s.Func
+		if s.Leaf != "" {
+			name += " [" + s.Leaf + "]"
+		}
+		fmt.Fprintf(&b, "    %12s  %10s  %-9s  %s (%s:%d)\n",
+			withCommas(s.Allocs), humanBytes(uint64(s.Bytes)), s.Subsystem,
+			name, s.File, s.Line)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the site table as CSV: one row per site, ranked, with the
+// totals available from the per-site columns.
+func (r *AllocReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"rank", "subsystem", "func", "file", "line", "leaf",
+		"allocs", "bytes", "allocs_per_op", "bytes_per_op",
+	}); err != nil {
+		return err
+	}
+	for i, s := range r.Sites {
+		perOp, bytesPerOp := "", ""
+		if r.Ops > 0 {
+			perOp = strconv.FormatFloat(float64(s.Allocs)/float64(r.Ops), 'f', 3, 64)
+			bytesPerOp = strconv.FormatFloat(float64(s.Bytes)/float64(r.Ops), 'f', 1, 64)
+		}
+		if err := cw.Write([]string{
+			strconv.Itoa(i + 1), s.Subsystem, s.Func, s.File,
+			strconv.Itoa(s.Line), s.Leaf,
+			strconv.FormatInt(s.Allocs, 10), strconv.FormatInt(s.Bytes, 10),
+			perOp, bytesPerOp,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON serializes the report (the -allocs-out format, read back by
+// `simscope allocs`).
+func (r *AllocReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadAllocReport parses a JSON report written by WriteJSON.
+func ReadAllocReport(rd io.Reader) (*AllocReport, error) {
+	var rep AllocReport
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("obs: parsing alloc report: %w", err)
+	}
+	return &rep, nil
+}

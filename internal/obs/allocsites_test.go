@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+var allocSink any
+
+// allocHelper is a stable, non-inlinable allocation site the capture test
+// can look for by name.
+//
+//go:noinline
+func allocHelper(n int) [][]byte {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, make([]byte, 1024))
+	}
+	return out
+}
+
+// sprintHelper allocates through fmt so the stdlib-leaf attribution path is
+// exercised: the site must charge this function, with fmt as the leaf.
+//
+//go:noinline
+func sprintHelper(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("alloc-%d-%s", i, strings.Repeat("x", 40)))
+	}
+	return out
+}
+
+func TestAllocCaptureAttributesSites(t *testing.T) {
+	c := StartAllocCapture()
+	allocSink = allocHelper(200)
+	allocSink = sprintHelper(100)
+	rep := c.Finish(100)
+
+	if rep == nil {
+		t.Fatal("Finish returned nil on first call")
+	}
+	if again := c.Finish(100); again != nil {
+		t.Error("second Finish returned a report, want nil")
+	}
+	if rep.ProfileRate != 1 {
+		t.Errorf("ProfileRate = %d, want 1", rep.ProfileRate)
+	}
+	if rep.TotalAllocs < 300 {
+		t.Errorf("TotalAllocs = %d, want >= 300 (the helpers alone allocate that)", rep.TotalAllocs)
+	}
+	if cov := rep.Coverage(); cov < 0.5 || cov > 1 {
+		t.Errorf("Coverage = %v, want in (0.5, 1]", cov)
+	}
+
+	var helperSite, sprintSite *AllocSite
+	for i := range rep.Sites {
+		s := &rep.Sites[i]
+		if strings.Contains(s.Func, "allocHelper") && helperSite == nil {
+			helperSite = s
+		}
+		if strings.Contains(s.Func, "sprintHelper") && strings.HasPrefix(s.Leaf, "fmt.") {
+			sprintSite = s
+		}
+	}
+	if helperSite == nil {
+		t.Fatalf("no site attributed to allocHelper; sites:\n%s", rep.Format(30))
+	}
+	if helperSite.Allocs < 200 {
+		t.Errorf("allocHelper site Allocs = %d, want >= 200", helperSite.Allocs)
+	}
+	if !strings.Contains(helperSite.File, "internal/obs/allocsites_test.go") {
+		t.Errorf("allocHelper site File = %q, want trimmed repo-relative path", helperSite.File)
+	}
+	if helperSite.Subsystem != "other" {
+		t.Errorf("allocHelper site Subsystem = %q, want other (obs is not in the taxonomy)", helperSite.Subsystem)
+	}
+	if sprintSite == nil {
+		t.Fatalf("no sprintHelper site with an fmt leaf; sites:\n%s", rep.Format(30))
+	}
+
+	// Ranked: allocations non-increasing down the table.
+	for i := 1; i < len(rep.Sites); i++ {
+		if rep.Sites[i].Allocs > rep.Sites[i-1].Allocs {
+			t.Fatalf("sites not ranked at %d: %d > %d", i,
+				rep.Sites[i].Allocs, rep.Sites[i-1].Allocs)
+		}
+	}
+
+	// Subsystem rollup is consistent with the site table.
+	var subSum int64
+	for _, sub := range rep.Subsystems {
+		subSum += sub.Allocs
+	}
+	if subSum != rep.SampledAllocs {
+		t.Errorf("subsystem rollup sums %d, want SampledAllocs %d", subSum, rep.SampledAllocs)
+	}
+	if rep.GC == nil {
+		t.Error("AllocReport.GC = nil, want the window's GC stats")
+	}
+}
+
+func TestFinishNilCapture(t *testing.T) {
+	var c *AllocCapture
+	if rep := c.Finish(1); rep != nil {
+		t.Errorf("nil capture Finish = %+v, want nil", rep)
+	}
+}
+
+func TestMemSubsystem(t *testing.T) {
+	cases := []struct {
+		fn, file, want string
+	}{
+		{"wadc/internal/sim.(*Kernel).schedule", "internal/sim/kernel.go", "sim"},
+		{"wadc/internal/netmodel.(*Network).Send", "internal/netmodel/netmodel.go", "netmodel"},
+		{"wadc/internal/dataflow.(*node).sendData", "internal/dataflow/node.go", "dataflow"},
+		{"wadc/internal/dataflow.(*engine).respawn", "internal/dataflow/recovery.go", "recovery"},
+		{"wadc/internal/placement.Optimize", "internal/placement/placement.go", "placement"},
+		{"wadc/internal/plan.Build", "internal/plan/plan.go", "placement"},
+		{"wadc/internal/monitor.(*Monitor).Observe", "internal/monitor/monitor.go", "monitor"},
+		{"wadc/internal/telemetry.(*Tracer).Emit", "internal/telemetry/telemetry.go", "telemetry"},
+		{"wadc/internal/core.Run", "internal/core/core.go", "other"},
+		{"fmt.Sprintf", "fmt/print.go", "other"},
+	}
+	for _, tc := range cases {
+		if got := MemSubsystem(tc.fn, tc.file); got != tc.want {
+			t.Errorf("MemSubsystem(%q, %q) = %q, want %q", tc.fn, tc.file, got, tc.want)
+		}
+	}
+}
+
+func TestTrimSourcePath(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/home/u/repo/internal/sim/kernel.go", "internal/sim/kernel.go"},
+		{"/home/u/repo/cmd/combine/main.go", "cmd/combine/main.go"},
+		{"/usr/local/go/src/fmt/print.go", "fmt/print.go"},
+		{"kernel.go", "kernel.go"},
+	}
+	for _, tc := range cases {
+		if got := trimSourcePath(tc.in); got != tc.want {
+			t.Errorf("trimSourcePath(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestAllocReportFormats(t *testing.T) {
+	rep := &AllocReport{
+		Ops: 10, ProfileRate: 1,
+		TotalAllocs: 1000, TotalBytes: 64000,
+		SampledAllocs: 990, SampledBytes: 63000,
+		Subsystems: []AllocSubsystem{
+			{Name: "dataflow", Allocs: 700, Bytes: 50000, Share: 700.0 / 990},
+			{Name: "sim", Allocs: 290, Bytes: 13000, Share: 290.0 / 990},
+		},
+		Sites: []AllocSite{
+			{Func: "wadc/internal/dataflow.(*node).send", File: "internal/dataflow/node.go",
+				Line: 80, Subsystem: "dataflow", Allocs: 700, Bytes: 50000},
+			{Func: "wadc/internal/sim.(*Kernel).schedule", File: "internal/sim/kernel.go",
+				Line: 205, Leaf: "fmt.Sprintf", Subsystem: "sim", Allocs: 290, Bytes: 13000},
+		},
+		GC: &GCStats{Cycles: 2, HeapGoalBytes: 4 << 20},
+	}
+
+	out := rep.Format(1)
+	for _, want := range []string{
+		"allocation-site report",
+		"99.0% attributed to 2 sites",
+		"100.0 allocs/op",
+		"dataflow",
+		"... 1 more sites",
+		"gc ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(rep.Format(5), "[fmt.Sprintf]") {
+		t.Errorf("Format missing leaf annotation:\n%s", rep.Format(5))
+	}
+
+	var csvBuf bytes.Buffer
+	if err := rep.WriteCSV(&csvBuf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	csvOut := csvBuf.String()
+	for _, want := range []string{
+		"rank,subsystem,func,file,line,leaf,allocs,bytes,allocs_per_op,bytes_per_op",
+		"1,dataflow,wadc/internal/dataflow.(*node).send,internal/dataflow/node.go,80,,700,50000,70.000,5000.0",
+		"2,sim,wadc/internal/sim.(*Kernel).schedule,internal/sim/kernel.go,205,fmt.Sprintf,290,13000,29.000,1300.0",
+	} {
+		if !strings.Contains(csvOut, want) {
+			t.Errorf("CSV missing %q:\n%s", want, csvOut)
+		}
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := rep.WriteJSON(&jsonBuf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadAllocReport(&jsonBuf)
+	if err != nil {
+		t.Fatalf("ReadAllocReport: %v", err)
+	}
+	if got.TotalAllocs != rep.TotalAllocs || len(got.Sites) != len(rep.Sites) ||
+		got.Sites[1].Leaf != "fmt.Sprintf" || got.GC == nil || got.GC.Cycles != 2 {
+		t.Errorf("JSON round trip mismatch: %+v", got)
+	}
+}
+
+func TestAllocReportCoverage(t *testing.T) {
+	r := &AllocReport{TotalAllocs: 100, SampledAllocs: 97}
+	if got := r.Coverage(); got != 0.97 {
+		t.Errorf("Coverage = %v, want 0.97", got)
+	}
+	r.SampledAllocs = 105 // profile read-back can race a few allocs ahead
+	if got := r.Coverage(); got != 1 {
+		t.Errorf("Coverage = %v, want clamped to 1", got)
+	}
+	if got := (&AllocReport{}).Coverage(); got != 0 {
+		t.Errorf("empty Coverage = %v, want 0", got)
+	}
+}

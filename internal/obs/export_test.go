@@ -1,0 +1,11 @@
+package obs
+
+// Tick forces one heartbeat line, letting tests drive the heartbeat
+// deterministically instead of sleeping on the wall-clock ticker. Only
+// valid while no ticker-driven tick can run concurrently (before Start,
+// after Stop, or with an interval far longer than the test).
+func (p *Progress) Tick() { p.tick() }
+
+// HeartbeatRunning reports whether a heartbeat goroutine is currently live
+// over this recorder.
+func (r *Recorder) HeartbeatRunning() bool { return r.heartbeatRunning.Load() }

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/metrics"
+	"time"
+)
+
+// The runtime/metrics keys the GC telemetry reads. Reads are defensive:
+// a key the running toolchain does not export (metrics.KindBad) simply
+// leaves its field zero, so the report degrades instead of panicking on
+// older or newer runtimes.
+const (
+	metricGCCycles   = "/gc/cycles/total:gc-cycles"
+	metricGCPauses   = "/sched/pauses/total/gc:seconds"
+	metricAssistCPU  = "/cpu/classes/gc/mark/assist:cpu-seconds"
+	metricGCTotalCPU = "/cpu/classes/gc/total:cpu-seconds"
+	metricHeapGoal   = "/gc/heap/goal:bytes"
+	metricHeapLive   = "/gc/heap/live:bytes"
+	metricStackMem   = "/memory/classes/heap/stacks:bytes"
+)
+
+// GCStats summarises garbage-collector activity over an observation window
+// (a run, or one alloc-site capture). Counters (cycles, pauses, CPU) are
+// window deltas; gauges (heap goal, live heap, stack memory) are the values
+// at the end of the window. Pause percentiles are estimated from the
+// runtime's stop-the-world pause histogram, so they are bucket-midpoint
+// approximations, not exact order statistics.
+type GCStats struct {
+	// Cycles is the number of completed GC cycles in the window.
+	Cycles int64 `json:"cycles"`
+	// PauseTotalNs approximates the summed stop-the-world pause time.
+	PauseTotalNs int64 `json:"pause_total_ns"`
+	// PauseP50Ns / PauseP95Ns / PauseMaxNs are estimated pause quantiles.
+	PauseP50Ns int64 `json:"pause_p50_ns"`
+	PauseP95Ns int64 `json:"pause_p95_ns"`
+	PauseMaxNs int64 `json:"pause_max_ns"`
+	// AssistCPUSec is mutator-assist CPU: time user goroutines spent doing
+	// the collector's marking because allocation outran the background
+	// workers — the direct CPU tax of allocation churn.
+	AssistCPUSec float64 `json:"assist_cpu_sec"`
+	// GCCPUSec is total estimated GC CPU (background + assist + idle).
+	GCCPUSec float64 `json:"gc_cpu_sec"`
+	// HeapGoalBytes and HeapLiveBytes are the end-of-window heap goal and
+	// live (reachable-at-last-mark) sizes.
+	HeapGoalBytes uint64 `json:"heap_goal_bytes"`
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+	// StackBytes is memory serving goroutine stacks at the end of the
+	// window — the cost of the goroutine-per-process kernel design.
+	StackBytes uint64 `json:"stack_bytes"`
+}
+
+// Summary renders the one-line human form used by Format and the alloc
+// report.
+func (g *GCStats) Summary() string {
+	return fmt.Sprintf("%d cycles (pause p50 %v p95 %v max %v, total %v), assist %.3fs cpu",
+		g.Cycles,
+		time.Duration(g.PauseP50Ns).Round(time.Microsecond),
+		time.Duration(g.PauseP95Ns).Round(time.Microsecond),
+		time.Duration(g.PauseMaxNs).Round(time.Microsecond),
+		time.Duration(g.PauseTotalNs).Round(time.Microsecond),
+		g.AssistCPUSec)
+}
+
+// gcSnapshot is one raw reading of the GC metrics; two snapshots bracket an
+// observation window and difference into a GCStats.
+type gcSnapshot struct {
+	cycles       uint64
+	assistCPU    float64
+	gcCPU        float64
+	heapGoal     uint64
+	heapLive     uint64
+	stackBytes   uint64
+	pauseBuckets []float64 // histogram bucket boundaries (runtime-owned, read-only)
+	pauseCounts  []uint64  // copied counts, cumulative since process start
+}
+
+// readGCSnapshot reads the current GC metric values.
+func readGCSnapshot() gcSnapshot {
+	samples := []metrics.Sample{
+		{Name: metricGCCycles},
+		{Name: metricGCPauses},
+		{Name: metricAssistCPU},
+		{Name: metricGCTotalCPU},
+		{Name: metricHeapGoal},
+		{Name: metricHeapLive},
+		{Name: metricStackMem},
+	}
+	metrics.Read(samples)
+	var s gcSnapshot
+	s.cycles = sampleUint64(samples[0])
+	if samples[1].Value.Kind() == metrics.KindFloat64Histogram {
+		h := samples[1].Value.Float64Histogram()
+		s.pauseBuckets = h.Buckets
+		s.pauseCounts = append([]uint64(nil), h.Counts...)
+	}
+	s.assistCPU = sampleFloat64(samples[2])
+	s.gcCPU = sampleFloat64(samples[3])
+	s.heapGoal = sampleUint64(samples[4])
+	s.heapLive = sampleUint64(samples[5])
+	s.stackBytes = sampleUint64(samples[6])
+	return s
+}
+
+func sampleUint64(s metrics.Sample) uint64 {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s.Value.Uint64()
+}
+
+func sampleFloat64(s metrics.Sample) float64 {
+	if s.Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	return s.Value.Float64()
+}
+
+// delta folds the window between base and end into a GCStats.
+func (end gcSnapshot) delta(base gcSnapshot) *GCStats {
+	g := &GCStats{
+		Cycles:        int64(end.cycles - base.cycles),
+		AssistCPUSec:  end.assistCPU - base.assistCPU,
+		GCCPUSec:      end.gcCPU - base.gcCPU,
+		HeapGoalBytes: end.heapGoal,
+		HeapLiveBytes: end.heapLive,
+		StackBytes:    end.stackBytes,
+	}
+	// CPU-seconds metrics are runtime estimates; tiny negative deltas can
+	// appear across snapshots and mean zero, not time travel.
+	if g.AssistCPUSec < 0 {
+		g.AssistCPUSec = 0
+	}
+	if g.GCCPUSec < 0 {
+		g.GCCPUSec = 0
+	}
+	if len(end.pauseCounts) == 0 || len(end.pauseBuckets) != len(end.pauseCounts)+1 {
+		return g
+	}
+	// Difference the cumulative pause histogram, then walk it once for the
+	// total and the estimated quantiles. Bucket midpoints stand in for the
+	// samples inside each bucket; ±Inf edges collapse to the finite edge.
+	counts := make([]uint64, len(end.pauseCounts))
+	var total uint64
+	for i := range counts {
+		c := end.pauseCounts[i]
+		if i < len(base.pauseCounts) {
+			c -= base.pauseCounts[i]
+		}
+		counts[i] = c
+		total += c
+	}
+	if total == 0 {
+		return g
+	}
+	var sum float64
+	var seen uint64
+	p50, p95 := total/2+total%2, uint64(float64(total)*0.95)
+	if p95 == 0 {
+		p95 = 1
+	}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		mid := bucketMid(end.pauseBuckets[i], end.pauseBuckets[i+1])
+		sum += float64(c) * mid
+		if seen < p50 && seen+c >= p50 {
+			g.PauseP50Ns = int64(mid * 1e9)
+		}
+		if seen < p95 && seen+c >= p95 {
+			g.PauseP95Ns = int64(mid * 1e9)
+		}
+		seen += c
+		g.PauseMaxNs = int64(mid * 1e9)
+	}
+	g.PauseTotalNs = int64(sum * 1e9)
+	return g
+}
+
+// bucketMid returns a representative value (seconds) for a histogram bucket,
+// tolerating infinite edge buckets.
+func bucketMid(lo, hi float64) float64 {
+	switch {
+	case isInf(lo) && isInf(hi):
+		return 0
+	case isInf(lo):
+		return hi
+	case isInf(hi):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}
+
+func isInf(v float64) bool { return v > 1e300 || v < -1e300 }

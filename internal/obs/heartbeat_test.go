@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressHeartbeatGCFields drives the heartbeat deterministically —
+// an hour-long ticker that never fires, with Tick() as the test's clock —
+// and asserts the GC/heap fields land on every line and the goroutine's
+// lifecycle is clean.
+func TestProgressHeartbeatGCFields(t *testing.T) {
+	r := NewRecorder()
+	var buf syncBuffer
+	p := NewProgress(r, &buf, time.Hour)
+
+	if r.HeartbeatRunning() {
+		t.Fatal("HeartbeatRunning before Start")
+	}
+	p.Start()
+	if !r.HeartbeatRunning() {
+		t.Fatal("HeartbeatRunning false after Start")
+	}
+
+	r.CountEvent(42_000_000)
+	runtime.GC() // at least one cycle since the recorder's baseline
+	p.Tick()
+	p.Stop()
+	if r.HeartbeatRunning() {
+		t.Fatal("HeartbeatRunning true after Stop: heartbeat goroutine did not exit")
+	}
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 { // the driven tick plus Stop's final line
+		t.Fatalf("want 2 heartbeat lines, got %d:\n%s", len(lines), out)
+	}
+	gcField := regexp.MustCompile(`gc (\d+) \(goal ([0-9.]+ [KMG]?B)\)`)
+	for _, line := range lines {
+		if !strings.Contains(line, "heap ") {
+			t.Errorf("heartbeat line missing heap field: %s", line)
+		}
+		m := gcField.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("heartbeat line missing gc field: %s", line)
+		}
+		cycles, err := strconv.Atoi(m[1])
+		if err != nil || cycles < 1 {
+			t.Errorf("gc cycles = %q, want >= 1 after forced GC: %s", m[1], line)
+		}
+		if m[2] == "0 B" {
+			t.Errorf("heap goal = 0, want live gauge: %s", line)
+		}
+	}
+}

@@ -98,6 +98,7 @@ type Recorder struct {
 	startMallocs     uint64
 	startTotalAlloc  uint64
 	startHeapInuse   uint64
+	gcBase           gcSnapshot
 	labelsEnabled    bool
 	heartbeatRunning atomic.Bool
 }
@@ -113,6 +114,7 @@ func NewRecorder() *Recorder {
 	r.startTotalAlloc = ms.TotalAlloc
 	r.startHeapInuse = ms.HeapAlloc
 	r.peakHeap.Store(ms.HeapAlloc)
+	r.gcBase = readGCSnapshot()
 	return r
 }
 
@@ -238,6 +240,7 @@ func (r *Recorder) Report() *Report {
 		Allocs:        ms.Mallocs - r.startMallocs,
 		AllocBytes:    ms.TotalAlloc - r.startTotalAlloc,
 		PeakHeapBytes: peak,
+		GC:            readGCSnapshot().delta(r.gcBase),
 	}
 	secs := float64(total) / 1e9
 	rep.EventsPerSec = float64(rep.Events) / secs

@@ -153,9 +153,14 @@ func TestReportCSV(t *testing.T) {
 		}
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	wantLines := 1 + int(NumSubsystems) + 13
+	wantLines := 1 + int(NumSubsystems) + 13 + 10 // header, subsystems, scalars, gc scalars
 	if len(lines) != wantLines {
 		t.Errorf("CSV has %d lines, want %d", len(lines), wantLines)
+	}
+	for _, want := range []string{"metric,gc_cycles,", "metric,gc_heap_goal_bytes,"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"runtime/metrics"
 	"sync"
 	"time"
 )
@@ -25,6 +26,12 @@ type Progress struct {
 	wg      sync.WaitGroup
 	started bool
 	prev    snapshot
+
+	// gcSamples is the reused runtime/metrics read buffer for the
+	// heartbeat's GC fields. Ticks are serial (the heartbeat goroutine,
+	// then Stop's final line after the goroutine has exited), so reuse
+	// is race-free and keeps the steady-state tick allocation-flat.
+	gcSamples []metrics.Sample
 }
 
 // NewProgress builds a heartbeat over recorder r writing to w. A zero or
@@ -33,7 +40,10 @@ func NewProgress(r *Recorder, w io.Writer, interval time.Duration) *Progress {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
-	return &Progress{r: r, w: w, interval: interval}
+	return &Progress{
+		r: r, w: w, interval: interval,
+		gcSamples: []metrics.Sample{{Name: metricGCCycles}, {Name: metricHeapGoal}},
+	}
 }
 
 // Start launches the heartbeat goroutine. Safe to call once; Stop must be
@@ -90,11 +100,16 @@ func (p *Progress) tick() {
 	}
 	p.prev = cur
 
-	line := fmt.Sprintf("[obs] t=%-8v events %s (%s/s)  sim-time %v  heap %s",
+	metrics.Read(p.gcSamples)
+	gcCycles := sampleUint64(p.gcSamples[0]) - p.r.gcBase.cycles
+	heapGoal := sampleUint64(p.gcSamples[1])
+
+	line := fmt.Sprintf("[obs] t=%-8v events %s (%s/s)  sim-time %v  heap %s  gc %d (goal %s)",
 		time.Duration(cur.wallNs).Round(100*time.Millisecond),
 		withCommas(cur.events), humanRate(rate),
 		time.Duration(cur.virtualNs).Round(time.Millisecond),
-		humanBytes(p.r.peakHeap.Load()))
+		humanBytes(p.r.peakHeap.Load()),
+		gcCycles, humanBytes(heapGoal))
 	if cur.workTotal > 0 {
 		pct := 100 * float64(cur.workDone) / float64(cur.workTotal)
 		line += fmt.Sprintf("  %5.1f%% (%d/%d)", pct, cur.workDone, cur.workTotal)

@@ -37,6 +37,9 @@ type Report struct {
 	VirtualNs       int64            `json:"virtual_ns"`
 	WorkDone        int64            `json:"work_done"`
 	WorkTotal       int64            `json:"work_total"`
+	// GC is the window's garbage-collector activity (nil in reports
+	// written before the memory-observability layer existed).
+	GC *GCStats `json:"gc,omitempty"`
 }
 
 // WallTime returns the measured run duration.
@@ -72,6 +75,12 @@ func (rep *Report) Format() string {
 	}
 	if rep.WorkTotal > 0 {
 		fmt.Fprintf(&b, "  work           %d/%d units\n", rep.WorkDone, rep.WorkTotal)
+	}
+	if rep.GC != nil {
+		fmt.Fprintf(&b, "  gc             %s\n", rep.GC.Summary())
+		fmt.Fprintf(&b, "                 heap goal %s, live %s, stacks %s\n",
+			humanBytes(rep.GC.HeapGoalBytes), humanBytes(rep.GC.HeapLiveBytes),
+			humanBytes(rep.GC.StackBytes))
 	}
 	fmt.Fprintf(&b, "  subsystem wall-time shares (sum %.1f%%):\n", rep.ShareSum()*100)
 	shares := make([]SubsystemShare, len(rep.Subsystems))
@@ -117,6 +126,23 @@ func (rep *Report) WriteCSV(w io.Writer) error {
 		{"virtual_ns", strconv.FormatInt(rep.VirtualNs, 10)},
 		{"work_done", strconv.FormatInt(rep.WorkDone, 10)},
 		{"work_total", strconv.FormatInt(rep.WorkTotal, 10)},
+	}
+	if g := rep.GC; g != nil {
+		scalars = append(scalars, []struct {
+			name string
+			val  string
+		}{
+			{"gc_cycles", strconv.FormatInt(g.Cycles, 10)},
+			{"gc_pause_total_ns", strconv.FormatInt(g.PauseTotalNs, 10)},
+			{"gc_pause_p50_ns", strconv.FormatInt(g.PauseP50Ns, 10)},
+			{"gc_pause_p95_ns", strconv.FormatInt(g.PauseP95Ns, 10)},
+			{"gc_pause_max_ns", strconv.FormatInt(g.PauseMaxNs, 10)},
+			{"gc_assist_cpu_sec", fmtFloat(g.AssistCPUSec)},
+			{"gc_cpu_sec", fmtFloat(g.GCCPUSec)},
+			{"gc_heap_goal_bytes", strconv.FormatUint(g.HeapGoalBytes, 10)},
+			{"gc_heap_live_bytes", strconv.FormatUint(g.HeapLiveBytes, 10)},
+			{"gc_stack_bytes", strconv.FormatUint(g.StackBytes, 10)},
+		}...)
 	}
 	for _, s := range scalars {
 		if err := cw.Write([]string{"metric", s.name, s.val, ""}); err != nil {

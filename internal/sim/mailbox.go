@@ -87,9 +87,11 @@ type Mailbox struct {
 	waiters []*Proc
 }
 
-// NewMailbox creates a mailbox named name on kernel k.
+// NewMailbox creates a mailbox named name on kernel k. The waiter queue is
+// pre-sized: Recv carries a zero allocation budget, so its append must land
+// in existing capacity (wakeOne compacts in place to preserve it).
 func NewMailbox(k *Kernel, name string) *Mailbox {
-	return &Mailbox{k: k, name: name}
+	return &Mailbox{k: k, name: name, waiters: make([]*Proc, 0, 4)}
 }
 
 // Name returns the mailbox name.
@@ -118,7 +120,12 @@ func (m *Mailbox) Send(msg any, prio Priority) {
 func (m *Mailbox) wakeOne() {
 	for len(m.waiters) > 0 {
 		p := m.waiters[0]
-		m.waiters = m.waiters[1:]
+		// Compact in place rather than re-slicing from the front: slicing
+		// strands capacity at the head of the backing array, which forces
+		// Recv's append to reallocate and busts its zero allocation budget.
+		n := copy(m.waiters, m.waiters[1:])
+		m.waiters[n] = nil
+		m.waiters = m.waiters[:n]
 		if p.finished || p.doomed {
 			continue
 		}

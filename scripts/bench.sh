@@ -62,3 +62,16 @@ END { printf "\n  ]\n}\n" }
 ' "$raw" > "$out"
 
 echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
+
+# Capture the alloc-site profile behind BenchmarkDataflowPipeline so every
+# bench record ships with its allocation breakdown: which subsystem and which
+# source line the allocs/op column actually comes from, plus the window's GC
+# stats. Render with `simscope allocs`, or set ALLOCSITES_DIR to redirect the
+# artifact (CI points it at the upload directory).
+sitesdir="${ALLOCSITES_DIR:-$(dirname "$out")}"
+mkdir -p "$sitesdir"
+if ALLOCSITES_DIR="$sitesdir" go test -run '^TestAllocSiteCapture$' -count 1 ./internal/dataflow/ >/dev/null; then
+  echo "wrote $sitesdir/dataflow_pipeline.json (alloc sites behind BenchmarkDataflowPipeline)"
+else
+  echo "alloc-site capture failed; bench results in $out are unaffected" >&2
+fi

@@ -22,7 +22,11 @@ fi
 new="${1:?usage: bench_compare.sh [--strict-allocs] <new.json> [baseline.json]}"
 base="${2:-}"
 if [ -z "$base" ]; then
-  base="$(ls BENCH_*.json 2>/dev/null | grep -v -F "$(basename "$new")" | sort | tail -n1 || true)"
+  # "Committed" means exactly that: only git-tracked baselines qualify, so a
+  # stray BENCH_*.json left in the tree by a local run can never silently
+  # become the comparison point. Outside a git checkout, fall back to ls.
+  base="$( (git ls-files -- 'BENCH_*.json' 2>/dev/null || ls BENCH_*.json 2>/dev/null) |
+    grep -v -F "$(basename "$new")" | sort | tail -n1 || true)"
 fi
 if [ -z "$base" ] || [ ! -f "$base" ]; then
   echo "bench_compare: no committed baseline found; skipping comparison"
@@ -59,14 +63,21 @@ for key in sorted(new):
     nb = new[key]
     bb = base.get(key)
     allocs, evs = nb.get("allocs_per_op"), nb.get("events_per_sec")
+    bop = nb.get("bytes_per_op")
     if bb is None or "ns_per_op" not in nb or "ns_per_op" not in bb:
-        rows.append((key, nb.get("ns_per_op"), None, allocs, None, evs, None, "new"))
+        rows.append((key, nb.get("ns_per_op"), None, allocs, None, bop, None, evs, None, "new"))
         continue
     old, cur = bb["ns_per_op"], nb["ns_per_op"]
     delta = (cur - old) / old if old else 0.0
     dallocs = None
     if allocs is not None and bb.get("allocs_per_op") is not None:
         dallocs = allocs - bb["allocs_per_op"]
+    # B/op is warn-only even under --strict-allocs: allocation *counts* are
+    # exact, but byte totals shift with size-class rounding and map growth,
+    # so they carry signal without deserving a gate.
+    dbop = None
+    if bop is not None and bb.get("bytes_per_op"):
+        dbop = (bop - bb["bytes_per_op"]) / bb["bytes_per_op"]
     devs = None
     if evs and bb.get("events_per_sec"):
         devs = (evs - bb["events_per_sec"]) / bb["events_per_sec"]
@@ -82,15 +93,20 @@ for key in sorted(new):
         if STRICT and key[0] in HOT_PKGS:
             flag += " BLOCKING"
             blocking.append((key, bb["allocs_per_op"], allocs))
-    rows.append((key, cur, delta, allocs, dallocs, evs, devs, flag))
+    elif dbop is not None and abs(dbop) > THRESH:
+        flag = (flag + " " if flag else "") + f"B/op{dbop:+.0%}"
+        warned += 1
+    rows.append((key, cur, delta, allocs, dallocs, bop, dbop, evs, devs, flag))
 
 w = max(len(f"{p}.{n}") for (p, n), *_ in rows)
-print(f"{'benchmark'.ljust(w)}  {'ns/op':>12}  {'vs base':>8}  {'allocs/op':>9}  {'events/s':>9}  {'vs base':>8}  note")
-for (pkg, name), cur, delta, allocs, dallocs, evs, devs, flag in rows:
+print(f"{'benchmark'.ljust(w)}  {'ns/op':>12}  {'vs base':>8}  {'allocs/op':>9}  {'B/op':>9}  {'vs base':>8}  {'events/s':>9}  {'vs base':>8}  note")
+for (pkg, name), cur, delta, allocs, dallocs, bop, dbop, evs, devs, flag in rows:
     d = "    new " if delta is None else f"{delta:+7.1%}"
     a = "-" if allocs is None else str(allocs)
+    b = "-" if bop is None else str(bop)
+    db = "    -   " if dbop is None else f"{dbop:+7.1%}"
     e = "    -   " if devs is None else f"{devs:+7.1%}"
-    print(f"{(pkg + '.' + name).ljust(w)}  {cur:>12}  {d}  {a:>9}  {rate(evs):>9}  {e}  {flag}")
+    print(f"{(pkg + '.' + name).ljust(w)}  {cur:>12}  {d}  {a:>9}  {b:>9}  {db}  {rate(evs):>9}  {e}  {flag}")
 
 gone = sorted(set(base) - set(new))
 for pkg, name in gone:
